@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks: per-access cost of each replacement policy
+//! and of the heap-based replacement machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_cache::policy::PolicyKind;
+use sc_cache::{CacheEngine, ObjectKey, ObjectMeta, UtilityHeap};
+
+/// A deterministic synthetic access stream: (object key, bandwidth).
+fn access_stream(objects: u64, accesses: usize, seed: u64) -> Vec<(ObjectMeta, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..accesses)
+        .map(|_| {
+            let key = rng.gen_range(0..objects);
+            let duration = 60.0 + (key % 50) as f64 * 30.0;
+            let meta = ObjectMeta::new(ObjectKey::new(key), duration, 48_000.0, 5.0);
+            let bandwidth = rng.gen_range(2_000.0..200_000.0);
+            (meta, bandwidth)
+        })
+        .collect()
+}
+
+fn bench_policy_access(c: &mut Criterion) {
+    let stream = access_stream(2_000, 10_000, 7);
+    let mut group = c.benchmark_group("policy_on_access");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for kind in [
+        PolicyKind::IntegralFrequency,
+        PolicyKind::IntegralBandwidth,
+        PolicyKind::PartialBandwidth,
+        PolicyKind::HybridPartialBandwidth { e: 0.5 },
+        PolicyKind::PartialBandwidthValue { e: 1.0 },
+        PolicyKind::IntegralBandwidthValue,
+        PolicyKind::Lru,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut cache = CacheEngine::new(2e9, kind.build()).unwrap();
+                    for (meta, bandwidth) in &stream {
+                        cache.on_access(meta, *bandwidth);
+                    }
+                    cache.stats().evictions
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_heap_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("utility_heap");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("insert_update_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut heap = UtilityHeap::with_capacity(n);
+                for i in 0..n {
+                    heap.insert(ObjectKey::new(i as u64), (i % 997) as f64);
+                }
+                for i in 0..n / 2 {
+                    heap.update(ObjectKey::new(i as u64), (i % 313) as f64 + 1_000.0);
+                }
+                let mut sum = 0.0;
+                while let Some((_, u)) = heap.pop_min() {
+                    sum += u;
+                }
+                sum
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_pressure(c: &mut Criterion) {
+    // Cache sized at ~1% of the working set: every admission evicts.
+    let stream = access_stream(5_000, 10_000, 11);
+    let mut group = c.benchmark_group("eviction_pressure");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("pb_tiny_cache", |b| {
+        b.iter(|| {
+            let mut cache =
+                CacheEngine::new(5e8, PolicyKind::PartialBandwidth.build()).unwrap();
+            for (meta, bandwidth) in &stream {
+                cache.on_access(meta, *bandwidth);
+            }
+            cache.stats().evictions
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_access,
+    bench_heap_operations,
+    bench_eviction_pressure
+);
+criterion_main!(benches);

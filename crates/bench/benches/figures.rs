@@ -1,0 +1,47 @@
+//! Criterion benchmarks that run each paper-figure driver at test scale.
+//!
+//! These keep the experiment code paths exercised by `cargo bench` and give
+//! a wall-clock figure for how long each reproduced experiment takes; the
+//! full-scale numbers are produced by the `fig*` binaries
+//! (`cargo run -p sc-bench --bin fig5 --release -- --scale paper`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_sim::experiments::{
+    fig10, fig11, fig12, fig5, fig6, fig7, fig8, fig9, table1, ExperimentScale,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_test_scale");
+    group.sample_size(10);
+    group.bench_function("table1", |b| {
+        b.iter(|| table1(ExperimentScale::Test).unwrap().objects)
+    });
+    group.bench_function("fig5", |b| {
+        b.iter(|| fig5(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.bench_function("fig6", |b| {
+        b.iter(|| fig6(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.bench_function("fig7", |b| {
+        b.iter(|| fig7(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.bench_function("fig8", |b| {
+        b.iter(|| fig8(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.bench_function("fig9", |b| {
+        b.iter(|| fig9(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.bench_function("fig10", |b| {
+        b.iter(|| fig10(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.bench_function("fig11", |b| {
+        b.iter(|| fig11(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.bench_function("fig12", |b| {
+        b.iter(|| fig12(ExperimentScale::Test).unwrap().series.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

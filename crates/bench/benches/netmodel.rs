@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks: bandwidth-model sampling costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_netmodel::{
+    tcp_throughput_bps, BandwidthTimeSeries, NlanrBandwidthModel, PathSet, TcpPathParams,
+    TimeSeriesConfig, VariabilityModel,
+};
+
+fn bench_base_sampling(c: &mut Criterion) {
+    let model = NlanrBandwidthModel::paper_default();
+    let mut group = c.benchmark_group("nlanr_sampling");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("sample_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| model.sample_n_bps(&mut rng, 10_000).len());
+    });
+    group.finish();
+}
+
+fn bench_variability_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variability_apply");
+    group.throughput(Throughput::Elements(10_000));
+    for (name, model) in [
+        ("constant", VariabilityModel::constant()),
+        ("nlanr", VariabilityModel::nlanr_like()),
+        ("measured", VariabilityModel::measured_path_moderate()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..10_000 {
+                    acc += model.apply(&mut rng, 100_000.0);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_set_generation(c: &mut Criterion) {
+    c.bench_function("path_set_5000", |b| {
+        let base = NlanrBandwidthModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            PathSet::generate(5_000, &base, VariabilityModel::measured_path_low(), &mut rng).len()
+        });
+    });
+}
+
+fn bench_timeseries_and_tcp(c: &mut Criterion) {
+    c.bench_function("timeseries_10k_samples", |b| {
+        let cfg = TimeSeriesConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            BandwidthTimeSeries::generate(&cfg, 10_000, &mut rng)
+                .unwrap()
+                .len()
+        });
+    });
+    c.bench_function("tcp_throughput_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for loss_ppm in 1..1_000u32 {
+                let params = TcpPathParams::wan(0.08, f64::from(loss_ppm) * 1e-4);
+                acc += tcp_throughput_bps(&params).unwrap();
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_base_sampling,
+    bench_variability_models,
+    bench_path_set_generation,
+    bench_timeseries_and_tcp
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks: end-to-end simulation throughput (requests per
+//! second of simulated workload) for the main policies and variability
+//! models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_cache::policy::PolicyKind;
+use sc_sim::{run_simulation, SimulationConfig, VariabilityKind};
+use sc_workload::WorkloadConfig;
+
+fn reduced_config(policy: PolicyKind, variability: VariabilityKind) -> SimulationConfig {
+    let mut workload = WorkloadConfig::paper_default();
+    workload.catalog.objects = 1_000;
+    workload.trace.requests = 20_000;
+    SimulationConfig {
+        workload,
+        policy,
+        variability,
+        ..SimulationConfig::paper_default()
+    }
+    .with_cache_fraction(0.05)
+}
+
+fn bench_simulation_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20k_requests");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(20_000));
+    for policy in [
+        PolicyKind::IntegralFrequency,
+        PolicyKind::PartialBandwidth,
+        PolicyKind::IntegralBandwidth,
+        PolicyKind::PartialBandwidthValue { e: 1.0 },
+    ] {
+        let config = reduced_config(policy, VariabilityKind::Constant);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &config,
+            |b, config| {
+                b.iter(|| run_simulation(config).unwrap().metrics.requests);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_variability_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variability_overhead");
+    group.sample_size(10);
+    for kind in [
+        VariabilityKind::Constant,
+        VariabilityKind::MeasuredModerate,
+        VariabilityKind::NlanrLike,
+    ] {
+        let config = reduced_config(PolicyKind::PartialBandwidth, kind);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &config,
+            |b, config| {
+                b.iter(|| run_simulation(config).unwrap().metrics.requests);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_policies, bench_variability_overhead);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: offline optimal solvers (fractional knapsack
+//! allocation and value-based selection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_cache::{
+    exact_value_selection, greedy_value_selection, optimal_partial_allocation, ObjectKey,
+    ObjectMeta, OfflineObject,
+};
+
+fn offline_objects(n: usize, seed: u64) -> Vec<OfflineObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let duration = rng.gen_range(60.0..7_200.0);
+            let bandwidth = rng.gen_range(2_000.0..200_000.0);
+            let value = rng.gen_range(1.0..10.0);
+            OfflineObject::new(
+                ObjectMeta::new(ObjectKey::new(i as u64), duration, 48_000.0, value),
+                rng.gen_range(0.1..10.0),
+                bandwidth,
+            )
+        })
+        .collect()
+}
+
+fn bench_fractional_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_partial_allocation");
+    for n in [1_000usize, 5_000, 20_000] {
+        let objects = offline_objects(n, 1);
+        let capacity = 0.05 * objects.iter().map(|o| o.meta.size_bytes()).sum::<f64>();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &objects, |b, objects| {
+            b.iter(|| optimal_partial_allocation(objects, capacity).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_selection(c: &mut Criterion) {
+    let objects = offline_objects(2_000, 2);
+    let capacity = 0.05 * objects.iter().map(|o| o.meta.size_bytes()).sum::<f64>();
+    let mut group = c.benchmark_group("value_selection");
+    group.bench_function("greedy_2000", |b| {
+        b.iter(|| greedy_value_selection(&objects, capacity).unwrap().len());
+    });
+    let small = offline_objects(200, 3);
+    let small_capacity = 0.05 * small.iter().map(|o| o.meta.size_bytes()).sum::<f64>();
+    group.bench_function("exact_dp_200x2000", |b| {
+        b.iter(|| {
+            exact_value_selection(&small, small_capacity, 2_000)
+                .unwrap()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fractional_knapsack, bench_value_selection);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks: synthetic workload generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_workload::{Catalog, CatalogConfig, RequestTrace, TraceConfig, WorkloadBuilder, ZipfLike};
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sampling");
+    for n in [1_000usize, 5_000, 50_000] {
+        let zipf = ZipfLike::new(n, 0.73).unwrap();
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &zipf, |b, zipf| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..10_000 {
+                    acc += zipf.sample(&mut rng);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_catalog_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_generation");
+    for objects in [1_000usize, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(objects),
+            &objects,
+            |b, &objects| {
+                let config = CatalogConfig {
+                    objects,
+                    ..CatalogConfig::paper_default()
+                };
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| Catalog::generate(&config, &mut rng).unwrap().len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let catalog = Catalog::generate(&CatalogConfig::paper_default(), &mut rng).unwrap();
+    let mut group = c.benchmark_group("trace_generation");
+    for requests in [10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(requests as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(requests),
+            &requests,
+            |b, &requests| {
+                let config = TraceConfig {
+                    requests,
+                    ..TraceConfig::paper_default()
+                };
+                let mut rng = StdRng::seed_from_u64(4);
+                b.iter(|| {
+                    RequestTrace::generate(&catalog, &config, &mut rng)
+                        .unwrap()
+                        .len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_workload");
+    group.sample_size(10);
+    group.bench_function("paper_scale_workload", |b| {
+        b.iter(|| {
+            WorkloadBuilder::new()
+                .objects(5_000)
+                .requests(100_000)
+                .seed(5)
+                .build()
+                .unwrap()
+                .trace
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zipf_sampling,
+    bench_catalog_generation,
+    bench_trace_generation,
+    bench_full_workload
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figure 2: the base bandwidth distribution (histogram and CDF)
+//! of the NLANR-like model, using 4 KB/s bins as in the paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_netmodel::{Histogram, NlanrBandwidthModel, BYTES_PER_KB};
+
+fn main() {
+    let samples: usize = 10_000;
+    let model = NlanrBandwidthModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let kbps: Vec<f64> = model
+        .sample_n_bps(&mut rng, samples)
+        .iter()
+        .map(|b| b / BYTES_PER_KB)
+        .collect();
+    let hist = Histogram::from_samples(4.0, 125, &kbps);
+    let cdf = hist.cumulative();
+
+    println!("# fig2 — Internet bandwidth distribution (synthetic NLANR-like model)");
+    println!("{:>12} {:>10} {:>10}", "KB/s (bin)", "samples", "CDF");
+    for i in 0..hist.bins() {
+        if hist.count(i) > 0 || i % 5 == 0 {
+            println!(
+                "{:>12.0} {:>10} {:>10.4}",
+                hist.bin_start(i),
+                hist.count(i),
+                cdf[i]
+            );
+        }
+    }
+    println!();
+    println!(
+        "landmarks: {:.1}% below 50 KB/s (paper: 37%), {:.1}% below 100 KB/s (paper: 56%)",
+        100.0 * hist.fraction_below(50.0),
+        100.0 * hist.fraction_below(100.0)
+    );
+}

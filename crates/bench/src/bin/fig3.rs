@@ -1,0 +1,28 @@
+//! Regenerates Figure 3: the sample-to-mean bandwidth ratio distribution of
+//! the high-variability (NLANR-log-like) model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_netmodel::{Histogram, VariabilityModel};
+
+fn main() {
+    let samples = 10_000;
+    let model = VariabilityModel::nlanr_like();
+    let mut rng = StdRng::seed_from_u64(3);
+    let ratios: Vec<f64> = (0..samples).map(|_| model.sample_ratio(&mut rng)).collect();
+    let hist = Histogram::from_samples(0.1, 30, &ratios);
+    let cdf = hist.cumulative();
+
+    println!("# fig3 — Variation of bandwidth (sample-to-mean ratio, NLANR-like model)");
+    println!("{:>10} {:>10} {:>10}", "ratio bin", "samples", "CDF");
+    for i in 0..hist.bins() {
+        println!("{:>10.2} {:>10} {:>10.4}", hist.bin_start(i), hist.count(i), cdf[i]);
+    }
+    let in_band = hist.fraction_below(1.5) - hist.fraction_below(0.5);
+    println!();
+    println!(
+        "mass in [0.5, 1.5]x mean: {:.1}% (paper: ~70%); coefficient of variation: {:.2}",
+        100.0 * in_band,
+        model.coefficient_of_variation()
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 8 of the paper. Pass `--scale paper` for the
+//! full-scale run (default: quick).
+
+use sc_sim::experiments::fig8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = sc_bench::scale_from_args();
+    let figure = fig8(scale)?;
+    sc_bench::emit(&figure);
+    println!("(scale: {scale:?})");
+    Ok(())
+}

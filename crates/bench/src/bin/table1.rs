@@ -1,0 +1,11 @@
+//! Regenerates Table 1: characteristics of the synthetic workload.
+
+use sc_sim::experiments::table1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = sc_bench::scale_from_args();
+    let table = table1(scale)?;
+    println!("{table}");
+    println!("(scale: {scale:?}; paper values: 5,000 objects, 100,000 requests, 48 KB/s, ~790 GB)");
+    Ok(())
+}

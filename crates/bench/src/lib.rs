@@ -1,0 +1,78 @@
+//! # sc-bench — benchmark and experiment harness
+//!
+//! This crate hosts two kinds of artefacts:
+//!
+//! * **Per-figure binaries** (`src/bin/table1.rs`, `fig2.rs` … `fig12.rs`):
+//!   each regenerates one table or figure of the paper's evaluation and
+//!   prints the corresponding rows; pass `--scale paper` for the full-scale
+//!   run (the default `quick` scale finishes in seconds). Results are also
+//!   written as JSON under `results/`.
+//! * **Criterion micro-benchmarks** (`benches/`): cache-decision throughput
+//!   per policy, heap operations, workload generation, offline solvers and
+//!   reduced-scale end-to-end simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sc_sim::experiments::ExperimentScale;
+use sc_sim::FigureResult;
+use std::path::PathBuf;
+
+/// Parses the `--scale <paper|quick|test>` command-line option; defaults to
+/// [`ExperimentScale::Quick`].
+pub fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = ExperimentScale::Quick;
+    for window in args.windows(2) {
+        if window[0] == "--scale" {
+            scale = match window[1].as_str() {
+                "paper" | "full" => ExperimentScale::Paper,
+                "test" => ExperimentScale::Test,
+                _ => ExperimentScale::Quick,
+            };
+        }
+    }
+    scale
+}
+
+/// Prints a figure as a plain-text table and writes it as JSON under
+/// `results/<id>.json` (best effort — failures to write are reported but not
+/// fatal).
+pub fn emit(figure: &FigureResult) {
+    println!("{}", figure.to_table());
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{}.json", figure.id));
+        match serde_json::to_string_pretty(figure) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("(wrote {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialise {}: {e}", figure.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_sim::FigureSeries;
+
+    #[test]
+    fn default_scale_is_quick() {
+        assert_eq!(scale_from_args(), ExperimentScale::Quick);
+    }
+
+    #[test]
+    fn emit_writes_results_file() {
+        let mut fig = FigureResult::new("selftest", "emit smoke test", "x");
+        fig.series.push(FigureSeries::new("s"));
+        emit(&fig);
+        let path = std::path::Path::new("results/selftest.json");
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+    }
+}

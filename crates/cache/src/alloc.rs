@@ -1,0 +1,235 @@
+//! Partial-caching allocation math (Section 2.2 of the paper).
+//!
+//! For a CBR object with duration `T` (seconds), bit-rate `r` (bytes/s) and
+//! cache↔origin bandwidth `b` (bytes/s), of which `x` bytes are cached as a
+//! prefix at a well-connected proxy:
+//!
+//! * the **service delay** before playout can start at full quality is
+//!   `[T·r − T·b − x]⁺ / b`;
+//! * hiding the delay completely requires a prefix of `[(r − b)·T]⁺` bytes;
+//! * if the client instead starts immediately and degrades quality (layered
+//!   encoding), the achievable **stream quality** is
+//!   `min(1, (b·T + x) / (r·T))`.
+
+use crate::object::ObjectMeta;
+
+/// Prefix size in bytes needed to hide the startup delay entirely:
+/// `[(r − b)·T]⁺`, additionally clamped to the object size (relevant when
+/// `b = 0`).
+///
+/// ```
+/// use sc_cache::prefix_bytes_needed;
+/// // 400 Kb/s object over a 200 Kb/s path for 100 s: half must be cached.
+/// let x = prefix_bytes_needed(100.0, 50_000.0, 25_000.0);
+/// assert_eq!(x, 2_500_000.0);
+/// // Abundant bandwidth: nothing needs caching.
+/// assert_eq!(prefix_bytes_needed(100.0, 50_000.0, 60_000.0), 0.0);
+/// ```
+pub fn prefix_bytes_needed(duration_secs: f64, bitrate_bps: f64, bandwidth_bps: f64) -> f64 {
+    let deficit = (bitrate_bps - bandwidth_bps.max(0.0)) * duration_secs;
+    deficit.clamp(0.0, duration_secs * bitrate_bps)
+}
+
+/// Conservative prefix size using an under-estimated bandwidth `e·b`
+/// (Section 2.5): `[(r − e·b)·T]⁺` clamped to the object size. `e = 1`
+/// reproduces [`prefix_bytes_needed`]; `e = 0` returns the whole object.
+pub fn conservative_prefix_bytes(
+    duration_secs: f64,
+    bitrate_bps: f64,
+    bandwidth_bps: f64,
+    estimator_e: f64,
+) -> f64 {
+    prefix_bytes_needed(
+        duration_secs,
+        bitrate_bps,
+        bandwidth_bps * estimator_e.clamp(0.0, 1.0),
+    )
+}
+
+/// Startup (service) delay in seconds when `cached_bytes` of the object are
+/// available at the cache and the remainder streams at `bandwidth_bps`:
+/// `[T·r − T·b − x]⁺ / b`.
+///
+/// When the bandwidth is zero the delay is infinite unless the whole object
+/// is cached.
+///
+/// ```
+/// use sc_cache::service_delay_secs;
+/// // Nothing cached, half the required bandwidth: wait for half the
+/// // duration times (r/b - 1)... concretely 100 s here.
+/// let d = service_delay_secs(100.0, 50_000.0, 25_000.0, 0.0);
+/// assert_eq!(d, 100.0);
+/// // Cache the deficit: no delay.
+/// assert_eq!(service_delay_secs(100.0, 50_000.0, 25_000.0, 2_500_000.0), 0.0);
+/// ```
+pub fn service_delay_secs(
+    duration_secs: f64,
+    bitrate_bps: f64,
+    bandwidth_bps: f64,
+    cached_bytes: f64,
+) -> f64 {
+    let total = duration_secs * bitrate_bps;
+    let missing = (total - duration_secs * bandwidth_bps.max(0.0) - cached_bytes.max(0.0)).max(0.0);
+    if missing <= 0.0 {
+        return 0.0;
+    }
+    if bandwidth_bps <= 0.0 {
+        return f64::INFINITY;
+    }
+    missing / bandwidth_bps
+}
+
+/// Achievable stream quality (fraction of the full encoding rate that can be
+/// sustained with immediate playout): `min(1, (b·T + x) / (r·T))`.
+///
+/// This models a layered encoding where a client that cannot sustain the
+/// full rate plays a subset of layers (Section 3.3 of the paper: an object
+/// with four layers of which three are sustainable has quality 0.75).
+///
+/// ```
+/// use sc_cache::stream_quality;
+/// assert_eq!(stream_quality(100.0, 50_000.0, 25_000.0, 0.0), 0.5);
+/// assert_eq!(stream_quality(100.0, 50_000.0, 60_000.0, 0.0), 1.0);
+/// assert_eq!(stream_quality(100.0, 50_000.0, 25_000.0, 2_500_000.0), 1.0);
+/// ```
+pub fn stream_quality(
+    duration_secs: f64,
+    bitrate_bps: f64,
+    bandwidth_bps: f64,
+    cached_bytes: f64,
+) -> f64 {
+    let total = duration_secs * bitrate_bps;
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let deliverable = duration_secs * bandwidth_bps.max(0.0) + cached_bytes.max(0.0);
+    (deliverable / total).clamp(0.0, 1.0)
+}
+
+/// Convenience wrappers over [`ObjectMeta`].
+impl ObjectMeta {
+    /// Prefix bytes needed to hide the startup delay at bandwidth `b`
+    /// (see [`prefix_bytes_needed`]).
+    pub fn prefix_needed(&self, bandwidth_bps: f64) -> f64 {
+        prefix_bytes_needed(self.duration_secs, self.bitrate_bps, bandwidth_bps)
+    }
+
+    /// Startup delay given `cached_bytes` at bandwidth `b`
+    /// (see [`service_delay_secs`]).
+    pub fn service_delay(&self, bandwidth_bps: f64, cached_bytes: f64) -> f64 {
+        service_delay_secs(
+            self.duration_secs,
+            self.bitrate_bps,
+            bandwidth_bps,
+            cached_bytes,
+        )
+    }
+
+    /// Stream quality given `cached_bytes` at bandwidth `b`
+    /// (see [`stream_quality`]).
+    pub fn quality(&self, bandwidth_bps: f64, cached_bytes: f64) -> f64 {
+        stream_quality(
+            self.duration_secs,
+            self.bitrate_bps,
+            bandwidth_bps,
+            cached_bytes,
+        )
+    }
+
+    /// Whether the origin path alone can sustain real-time streaming
+    /// (`r_i ≤ b_i`), in which case the paper's bandwidth-aware algorithms
+    /// never cache the object.
+    pub fn bandwidth_sufficient(&self, bandwidth_bps: f64) -> bool {
+        self.bitrate_bps <= bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKey;
+
+    const T: f64 = 1_000.0; // seconds
+    const R: f64 = 48_000.0; // bytes per second
+
+    #[test]
+    fn prefix_needed_basics() {
+        // b = r/2: need half the object.
+        assert_eq!(prefix_bytes_needed(T, R, R / 2.0), T * R / 2.0);
+        // b >= r: need nothing.
+        assert_eq!(prefix_bytes_needed(T, R, R), 0.0);
+        assert_eq!(prefix_bytes_needed(T, R, 2.0 * R), 0.0);
+        // b = 0: need everything.
+        assert_eq!(prefix_bytes_needed(T, R, 0.0), T * R);
+        // negative bandwidth treated as zero.
+        assert_eq!(prefix_bytes_needed(T, R, -5.0), T * R);
+    }
+
+    #[test]
+    fn conservative_prefix_interpolates() {
+        let b = R / 2.0;
+        let full = conservative_prefix_bytes(T, R, b, 1.0);
+        let whole = conservative_prefix_bytes(T, R, b, 0.0);
+        let half = conservative_prefix_bytes(T, R, b, 0.5);
+        assert_eq!(full, T * (R - b));
+        assert_eq!(whole, T * R);
+        assert_eq!(half, T * (R - 0.5 * b));
+        assert!(full < half && half < whole);
+        // e outside [0,1] is clamped.
+        assert_eq!(conservative_prefix_bytes(T, R, b, 2.0), full);
+        assert_eq!(conservative_prefix_bytes(T, R, b, -1.0), whole);
+    }
+
+    #[test]
+    fn delay_formula_matches_paper() {
+        let b = R / 2.0;
+        // x = 0: delay = (T r - T b)/b = T (r/b - 1) = T.
+        assert_eq!(service_delay_secs(T, R, b, 0.0), T);
+        // Cache a quarter of the object: delay halves.
+        assert_eq!(service_delay_secs(T, R, b, T * R / 4.0), T / 2.0);
+        // Cache the full deficit: no delay.
+        assert_eq!(service_delay_secs(T, R, b, T * R / 2.0), 0.0);
+        // Caching more than the deficit does not produce negative delay.
+        assert_eq!(service_delay_secs(T, R, b, T * R), 0.0);
+    }
+
+    #[test]
+    fn delay_with_zero_bandwidth() {
+        assert_eq!(service_delay_secs(T, R, 0.0, 0.0), f64::INFINITY);
+        assert_eq!(service_delay_secs(T, R, 0.0, T * R / 2.0), f64::INFINITY);
+        assert_eq!(service_delay_secs(T, R, 0.0, T * R), 0.0);
+    }
+
+    #[test]
+    fn delay_decreases_monotonically_in_cached_bytes() {
+        let b = R / 3.0;
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let x = T * R * i as f64 / 10.0;
+            let d = service_delay_secs(T, R, b, x);
+            assert!(d <= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn quality_formula() {
+        let b = R / 2.0;
+        assert_eq!(stream_quality(T, R, b, 0.0), 0.5);
+        assert_eq!(stream_quality(T, R, b, T * R / 4.0), 0.75);
+        assert_eq!(stream_quality(T, R, b, T * R / 2.0), 1.0);
+        assert_eq!(stream_quality(T, R, 2.0 * R, 0.0), 1.0);
+        assert_eq!(stream_quality(T, R, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn meta_wrappers_delegate() {
+        let meta = ObjectMeta::new(ObjectKey::new(1), T, R, 0.0);
+        let b = R / 2.0;
+        assert_eq!(meta.prefix_needed(b), prefix_bytes_needed(T, R, b));
+        assert_eq!(meta.service_delay(b, 0.0), T);
+        assert_eq!(meta.quality(b, 0.0), 0.5);
+        assert!(meta.bandwidth_sufficient(R));
+        assert!(!meta.bandwidth_sufficient(R - 1.0));
+    }
+}

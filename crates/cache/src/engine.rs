@@ -1,0 +1,559 @@
+//! The cache engine: frequency tracking, utility heap, admission and
+//! eviction (Section 2.4 of the paper).
+
+use crate::error::CacheError;
+use crate::heap::UtilityHeap;
+use crate::object::{ObjectKey, ObjectMeta};
+use crate::policy::UtilityPolicy;
+use crate::stats::CacheStats;
+use std::collections::HashMap;
+
+/// Result of processing one access through the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessOutcome {
+    /// Bytes of the object cached *before* this access was processed; this
+    /// is what the current request can actually be served from the cache.
+    pub cached_bytes_before: f64,
+    /// Bytes cached after admission/eviction decisions.
+    pub cached_bytes_after: f64,
+    /// Bytes of this request served from the cache
+    /// (`min(cached_bytes_before, object size)`).
+    pub bytes_from_cache: f64,
+    /// Bytes of this request that must come from the origin server.
+    pub bytes_from_origin: f64,
+    /// Number of objects evicted while processing this access.
+    pub evictions: usize,
+    /// Whether the accessed object's allocation was created or grown.
+    pub admitted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedEntry {
+    cached_bytes: f64,
+}
+
+/// A streaming-media cache driven by a [`UtilityPolicy`].
+///
+/// The engine implements the replacement scheme of Section 2.4: it counts
+/// request frequencies, keeps cached objects in a priority queue keyed by
+/// utility, and on each access tries to bring the accessed object up to its
+/// policy-defined target allocation, evicting strictly-lower-utility objects
+/// as needed. Heap operations make each access `O(log n)` in the number of
+/// cached objects.
+///
+/// ```
+/// use sc_cache::policy::PartialBandwidth;
+/// use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+///
+/// # fn main() -> Result<(), sc_cache::CacheError> {
+/// let mut cache = CacheEngine::new(10_000_000.0, PartialBandwidth::new())?;
+/// let obj = ObjectMeta::new(ObjectKey::new(1), 100.0, 48_000.0, 0.0);
+///
+/// // First access: a miss, but the object's bandwidth deficit is admitted.
+/// let out = cache.on_access(&obj, 24_000.0);
+/// assert_eq!(out.bytes_from_cache, 0.0);
+/// assert!(out.admitted);
+///
+/// // Second access: half the object is now served from the cache.
+/// let out = cache.on_access(&obj, 24_000.0);
+/// assert_eq!(out.bytes_from_cache, obj.size_bytes() / 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CacheEngine<P> {
+    capacity_bytes: f64,
+    used_bytes: f64,
+    policy: P,
+    entries: HashMap<ObjectKey, CachedEntry>,
+    frequencies: HashMap<ObjectKey, u64>,
+    heap: UtilityHeap,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<P: UtilityPolicy> CacheEngine<P> {
+    /// Creates a cache with the given capacity in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] if `capacity_bytes` is
+    /// negative or not finite.
+    pub fn new(capacity_bytes: f64, policy: P) -> Result<Self, CacheError> {
+        if !capacity_bytes.is_finite() || capacity_bytes < 0.0 {
+            return Err(CacheError::InvalidCapacity(capacity_bytes));
+        }
+        Ok(CacheEngine {
+            capacity_bytes,
+            used_bytes: 0.0,
+            policy,
+            entries: HashMap::new(),
+            frequencies: HashMap::new(),
+            heap: UtilityHeap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> f64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> f64 {
+        self.used_bytes
+    }
+
+    /// Free space in bytes.
+    pub fn free_bytes(&self) -> f64 {
+        (self.capacity_bytes - self.used_bytes).max(0.0)
+    }
+
+    /// Number of objects with a cached prefix.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The policy driving this cache.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters without touching cache contents
+    /// (used at the warm-up/measurement boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Bytes of `key` currently cached (0 when absent).
+    pub fn cached_bytes(&self, key: ObjectKey) -> f64 {
+        self.entries.get(&key).map(|e| e.cached_bytes).unwrap_or(0.0)
+    }
+
+    /// Whether any prefix of `key` is cached.
+    pub fn contains(&self, key: ObjectKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Number of requests observed for `key` so far.
+    pub fn frequency(&self, key: ObjectKey) -> u64 {
+        self.frequencies.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of the cache contents as `(key, cached_bytes)` pairs in
+    /// unspecified order.
+    pub fn contents(&self) -> Vec<(ObjectKey, f64)> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (*k, e.cached_bytes))
+            .collect()
+    }
+
+    /// Removes every cached object and returns the number of evictions.
+    /// Frequencies and statistics are preserved.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        for (_, entry) in self.entries.drain() {
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += entry.cached_bytes;
+        }
+        self.heap = UtilityHeap::new();
+        self.used_bytes = 0.0;
+        n
+    }
+
+    /// Processes one access to `meta` given the current estimate of the
+    /// bandwidth between the cache and the object's origin server.
+    ///
+    /// This records the request, updates the object's utility, serves
+    /// whatever prefix is already cached, and then tries to grow the
+    /// object's allocation to the policy's target by evicting
+    /// strictly-lower-utility objects.
+    pub fn on_access(&mut self, meta: &ObjectMeta, bandwidth_bps: f64) -> AccessOutcome {
+        self.clock += 1;
+        let freq = {
+            let f = self.frequencies.entry(meta.key).or_insert(0);
+            *f += 1;
+            *f
+        };
+        let size = meta.size_bytes();
+        let cached_before = self.cached_bytes(meta.key);
+        let bytes_from_cache = cached_before.min(size);
+        let bytes_from_origin = (size - bytes_from_cache).max(0.0);
+
+        self.stats.requests += 1;
+        if bytes_from_cache > 0.0 {
+            self.stats.hits += 1;
+        }
+        self.stats.bytes_requested += size;
+        self.stats.bytes_from_cache += bytes_from_cache;
+        self.stats.bytes_from_origin += bytes_from_origin;
+
+        let utility = self
+            .policy
+            .utility(meta, freq, bandwidth_bps, self.clock)
+            .max(0.0);
+        debug_assert!(!utility.is_nan(), "policy produced a NaN utility");
+        let target = self
+            .policy
+            .target_bytes(meta, bandwidth_bps)
+            .clamp(0.0, size);
+
+        let (cached_after, evictions, admitted) =
+            self.rebalance(meta.key, cached_before, target, utility);
+
+        AccessOutcome {
+            cached_bytes_before: cached_before,
+            cached_bytes_after: cached_after,
+            bytes_from_cache,
+            bytes_from_origin,
+            evictions,
+            admitted,
+        }
+    }
+
+    /// Grows (never shrinks) the allocation of `key` towards `target`,
+    /// evicting strictly-lower-utility victims when space is needed.
+    /// Returns `(cached_after, evictions, admitted)`.
+    fn rebalance(
+        &mut self,
+        key: ObjectKey,
+        cached_before: f64,
+        target: f64,
+        utility: f64,
+    ) -> (f64, usize, bool) {
+        // Nothing to grow: refresh the heap key and return.
+        if target <= cached_before {
+            if self.entries.contains_key(&key) {
+                self.heap.update(key, utility);
+            }
+            return (cached_before, 0, false);
+        }
+
+        // Conceptually take the object's current allocation out, then try to
+        // re-admit it at the target size.
+        if self.entries.contains_key(&key) {
+            self.heap.remove(key);
+            self.used_bytes -= cached_before;
+        }
+
+        // Pop candidate victims (strictly lower utility) until the target
+        // fits or no eligible victim remains. Eviction is committed only if
+        // admission succeeds; otherwise the pops are rolled back.
+        let mut popped: Vec<(ObjectKey, f64, f64)> = Vec::new();
+        while self.capacity_bytes - self.used_bytes < target {
+            match self.heap.peek_min() {
+                Some((victim, victim_utility)) if victim_utility < utility => {
+                    self.heap.pop_min();
+                    let bytes = self.entries[&victim].cached_bytes;
+                    self.used_bytes -= bytes;
+                    popped.push((victim, bytes, victim_utility));
+                }
+                _ => break,
+            }
+        }
+
+        let available = (self.capacity_bytes - self.used_bytes).max(0.0);
+        let grant = if self.policy.allows_partial_admission() {
+            target.min(available)
+        } else if available >= target {
+            target
+        } else {
+            0.0
+        };
+
+        if grant > cached_before || (grant > 0.0 && grant >= cached_before) {
+            // Commit: victims are gone for good, the object holds `grant`.
+            for (victim, bytes, _) in &popped {
+                self.entries.remove(victim);
+                self.stats.evictions += 1;
+                self.stats.bytes_evicted += *bytes;
+            }
+            let evicted = popped.len();
+            self.entries.insert(key, CachedEntry { cached_bytes: grant });
+            self.used_bytes += grant;
+            self.heap.insert(key, utility);
+            let grew = grant > cached_before;
+            if grew {
+                self.stats.admissions += 1;
+                self.stats.bytes_admitted += grant - cached_before;
+            }
+            debug_assert!(self.used_bytes <= self.capacity_bytes + 1e-6);
+            (grant, evicted, grew)
+        } else {
+            // Roll back: restore the popped victims and the object itself.
+            for (victim, bytes, victim_utility) in popped.into_iter().rev() {
+                self.used_bytes += bytes;
+                self.heap.insert(victim, victim_utility);
+            }
+            if cached_before > 0.0 {
+                self.used_bytes += cached_before;
+                self.heap.insert(key, utility);
+            }
+            (cached_before, 0, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        IntegralBandwidth, IntegralFrequency, Lru, PartialBandwidth, PolicyKind,
+    };
+
+    const R: f64 = 48_000.0;
+
+    fn obj(key: u64, duration: f64) -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(key), duration, R, 1.0)
+    }
+
+    #[test]
+    fn rejects_invalid_capacity() {
+        assert!(CacheEngine::new(-1.0, PartialBandwidth::new()).is_err());
+        assert!(CacheEngine::new(f64::NAN, PartialBandwidth::new()).is_err());
+        assert!(CacheEngine::new(f64::INFINITY, PartialBandwidth::new()).is_err());
+    }
+
+    #[test]
+    fn pb_caches_only_the_deficit() {
+        let mut cache = CacheEngine::new(1e9, PartialBandwidth::new()).unwrap();
+        let o = obj(1, 100.0);
+        let out = cache.on_access(&o, R / 2.0);
+        assert!(out.admitted);
+        assert_eq!(out.cached_bytes_after, o.size_bytes() / 2.0);
+        assert_eq!(cache.cached_bytes(o.key), o.size_bytes() / 2.0);
+        assert_eq!(cache.len(), 1);
+        // Object with abundant bandwidth is never cached by PB.
+        let fast = obj(2, 100.0);
+        let out = cache.on_access(&fast, 2.0 * R);
+        assert!(!out.admitted);
+        assert_eq!(cache.cached_bytes(fast.key), 0.0);
+    }
+
+    #[test]
+    fn if_caches_whole_objects_regardless_of_bandwidth() {
+        let mut cache = CacheEngine::new(1e9, IntegralFrequency::new()).unwrap();
+        let o = obj(1, 100.0);
+        let out = cache.on_access(&o, 10.0 * R);
+        assert!(out.admitted);
+        assert_eq!(cache.cached_bytes(o.key), o.size_bytes());
+    }
+
+    #[test]
+    fn second_access_is_served_from_cache() {
+        let mut cache = CacheEngine::new(1e9, PartialBandwidth::new()).unwrap();
+        let o = obj(1, 100.0);
+        let first = cache.on_access(&o, R / 2.0);
+        assert_eq!(first.bytes_from_cache, 0.0);
+        let second = cache.on_access(&o, R / 2.0);
+        assert_eq!(second.bytes_from_cache, o.size_bytes() / 2.0);
+        assert_eq!(second.bytes_from_origin, o.size_bytes() / 2.0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().requests, 2);
+        assert!((cache.stats().traffic_reduction_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_utility_objects_are_evicted_for_high_utility_ones() {
+        // Capacity fits exactly one whole object.
+        let size = obj(1, 100.0).size_bytes();
+        let mut cache = CacheEngine::new(size, IntegralBandwidth::new()).unwrap();
+        let slow = obj(1, 100.0);
+        let slower = obj(2, 100.0);
+        // Access the first object once over a moderately slow path.
+        cache.on_access(&slow, R / 2.0);
+        assert!(cache.contains(slow.key));
+        // Access the second object twice over a much slower path: its
+        // utility (2 / (R/10)) exceeds (1 / (R/2)), so it displaces the
+        // first object.
+        cache.on_access(&slower, R / 10.0);
+        cache.on_access(&slower, R / 10.0);
+        assert!(cache.contains(slower.key));
+        assert!(!cache.contains(slow.key));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.used_bytes() <= cache.capacity_bytes() + 1e-6);
+    }
+
+    #[test]
+    fn high_utility_objects_are_not_evicted_by_low_utility_ones() {
+        let size = obj(1, 100.0).size_bytes();
+        let mut cache = CacheEngine::new(size, IntegralBandwidth::new()).unwrap();
+        let hot = obj(1, 100.0);
+        for _ in 0..5 {
+            cache.on_access(&hot, R / 4.0);
+        }
+        // A cold object over a faster path must not displace the hot one.
+        let cold = obj(2, 100.0);
+        cache.on_access(&cold, R / 2.0);
+        assert!(cache.contains(hot.key));
+        assert!(!cache.contains(cold.key));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn integral_admission_is_all_or_nothing() {
+        // Capacity covers only half an object.
+        let o = obj(1, 100.0);
+        let mut cache = CacheEngine::new(o.size_bytes() / 2.0, IntegralBandwidth::new()).unwrap();
+        let out = cache.on_access(&o, R / 2.0);
+        assert!(!out.admitted);
+        assert_eq!(cache.cached_bytes(o.key), 0.0);
+        assert_eq!(cache.used_bytes(), 0.0);
+    }
+
+    #[test]
+    fn partial_admission_fills_whatever_fits() {
+        let o = obj(1, 100.0);
+        // Capacity is a quarter of the object; PB wants half.
+        let mut cache = CacheEngine::new(o.size_bytes() / 4.0, PartialBandwidth::new()).unwrap();
+        let out = cache.on_access(&o, R / 2.0);
+        assert!(out.admitted);
+        assert!((cache.cached_bytes(o.key) - o.size_bytes() / 4.0).abs() < 1e-6);
+        assert!(cache.used_bytes() <= cache.capacity_bytes() + 1e-6);
+    }
+
+    #[test]
+    fn partial_allocation_grows_when_bandwidth_drops() {
+        let o = obj(1, 100.0);
+        let mut cache = CacheEngine::new(1e9, PartialBandwidth::new()).unwrap();
+        cache.on_access(&o, R / 2.0);
+        assert_eq!(cache.cached_bytes(o.key), o.size_bytes() / 2.0);
+        // Bandwidth estimate worsens: the prefix grows.
+        cache.on_access(&o, R / 4.0);
+        assert_eq!(cache.cached_bytes(o.key), o.size_bytes() * 0.75);
+        // Bandwidth improves again: the allocation is not shrunk.
+        cache.on_access(&o, R);
+        assert_eq!(cache.cached_bytes(o.key), o.size_bytes() * 0.75);
+    }
+
+    #[test]
+    fn failed_integral_admission_rolls_back_victims() {
+        let small = obj(1, 50.0);
+        let big = obj(2, 200.0);
+        // Capacity fits the small object only.
+        let mut cache = CacheEngine::new(small.size_bytes(), IntegralBandwidth::new()).unwrap();
+        cache.on_access(&small, R / 2.0);
+        assert!(cache.contains(small.key));
+        // The big object has higher utility (slower path, after two
+        // accesses) but cannot fit even after evicting the small one, so the
+        // small object must survive.
+        cache.on_access(&big, R / 10.0);
+        cache.on_access(&big, R / 10.0);
+        assert!(cache.contains(small.key));
+        assert!(!cache.contains(big.key));
+        assert_eq!(cache.stats().evictions, 0);
+        assert!((cache.used_bytes() - small.size_bytes()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let size = obj(1, 100.0).size_bytes();
+        let mut cache = CacheEngine::new(2.0 * size, Lru::new()).unwrap();
+        let a = obj(1, 100.0);
+        let b = obj(2, 100.0);
+        let c = obj(3, 100.0);
+        cache.on_access(&a, R);
+        cache.on_access(&b, R);
+        cache.on_access(&a, R); // refresh a
+        cache.on_access(&c, R); // evicts b
+        assert!(cache.contains(a.key));
+        assert!(!cache.contains(b.key));
+        assert!(cache.contains(c.key));
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_admits() {
+        let mut cache = CacheEngine::new(0.0, PartialBandwidth::new()).unwrap();
+        let o = obj(1, 100.0);
+        let out = cache.on_access(&o, R / 2.0);
+        assert!(!out.admitted);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.used_bytes(), 0.0);
+    }
+
+    #[test]
+    fn clear_frees_everything_but_keeps_frequencies() {
+        let mut cache = CacheEngine::new(1e9, IntegralFrequency::new()).unwrap();
+        let o = obj(1, 100.0);
+        cache.on_access(&o, R);
+        cache.on_access(&o, R);
+        assert_eq!(cache.frequency(o.key), 2);
+        let evicted = cache.clear();
+        assert_eq!(evicted, 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0.0);
+        assert_eq!(cache.frequency(o.key), 2);
+    }
+
+    #[test]
+    fn contents_and_accessors() {
+        let mut cache = CacheEngine::new(1e9, PartialBandwidth::new()).unwrap();
+        let o = obj(7, 100.0);
+        cache.on_access(&o, R / 2.0);
+        let contents = cache.contents();
+        assert_eq!(contents.len(), 1);
+        assert_eq!(contents[0].0, o.key);
+        assert!(cache.free_bytes() < cache.capacity_bytes());
+        assert_eq!(cache.policy().name(), "PB");
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut cache = CacheEngine::new(1e9, PartialBandwidth::new()).unwrap();
+        let o = obj(1, 100.0);
+        cache.on_access(&o, R / 2.0);
+        cache.reset_stats();
+        assert_eq!(cache.stats().requests, 0);
+        assert!(cache.contains(o.key));
+    }
+
+    #[test]
+    fn boxed_policy_engine_works() {
+        let kind = PolicyKind::HybridPartialBandwidth { e: 0.5 };
+        let mut cache = CacheEngine::new(1e9, kind.build()).unwrap();
+        let o = obj(1, 100.0);
+        let out = cache.on_access(&o, R / 2.0);
+        assert!(out.admitted);
+        // e = 0.5: prefix = (r - 0.5 b) T = 0.75 size.
+        assert!((cache.cached_bytes(o.key) - 0.75 * o.size_bytes()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn used_bytes_never_exceed_capacity_under_churn() {
+        let mut cache =
+            CacheEngine::new(5.0 * obj(0, 100.0).size_bytes(), PartialBandwidth::new()).unwrap();
+        // Deterministic pseudo-random access pattern over 50 objects.
+        let mut state = 0xdeadbeefu64;
+        for _ in 0..2_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 50;
+            let duration = 50.0 + (state % 100) as f64;
+            let bandwidth = 1_000.0 + (state % 60_000) as f64;
+            let o = obj(key, duration);
+            cache.on_access(&o, bandwidth);
+            assert!(
+                cache.used_bytes() <= cache.capacity_bytes() + 1e-3,
+                "capacity violated: used {} capacity {}",
+                cache.used_bytes(),
+                cache.capacity_bytes()
+            );
+        }
+        // Sum of entries equals used bytes.
+        let total: f64 = cache.contents().iter().map(|(_, b)| b).sum();
+        assert!((total - cache.used_bytes()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the caching library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cache constructors and offline solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// The cache capacity was negative or not finite.
+    InvalidCapacity(f64),
+    /// A per-object input (bandwidth, arrival rate, …) was invalid
+    /// (parameter name, offending value).
+    InvalidInput(&'static str, f64),
+    /// Two parallel input slices had different lengths (expected, actual).
+    LengthMismatch(usize, usize),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidCapacity(c) => {
+                write!(f, "cache capacity must be finite and non-negative, got {c}")
+            }
+            CacheError::InvalidInput(name, v) => {
+                write!(f, "invalid value for `{name}`: {v}")
+            }
+            CacheError::LengthMismatch(expected, actual) => {
+                write!(
+                    f,
+                    "input slices must have equal length: expected {expected}, got {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CacheError::InvalidCapacity(-1.0)
+            .to_string()
+            .contains("capacity"));
+        assert!(CacheError::InvalidInput("bandwidth", -2.0)
+            .to_string()
+            .contains("bandwidth"));
+        assert!(CacheError::LengthMismatch(3, 4).to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CacheError>();
+    }
+}

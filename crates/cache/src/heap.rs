@@ -1,0 +1,325 @@
+//! An updatable min-heap keyed by utility.
+//!
+//! Section 2.4 of the paper notes that the replacement algorithm "can be
+//! implemented with a priority queue (heap) which uses the utility value as
+//! the key" with `O(log n)` per operation. This module provides that heap:
+//! a binary min-heap (the eviction victim is the minimum-utility object)
+//! with support for increasing or decreasing the key of an arbitrary entry.
+
+use crate::object::ObjectKey;
+use std::collections::HashMap;
+
+/// A binary min-heap of `(ObjectKey, utility)` pairs with `O(log n)`
+/// insert / remove / update and `O(1)` minimum lookup.
+///
+/// ```
+/// use sc_cache::{ObjectKey, UtilityHeap};
+///
+/// let mut heap = UtilityHeap::new();
+/// heap.insert(ObjectKey::new(1), 5.0);
+/// heap.insert(ObjectKey::new(2), 1.0);
+/// heap.insert(ObjectKey::new(3), 3.0);
+/// assert_eq!(heap.peek_min(), Some((ObjectKey::new(2), 1.0)));
+/// heap.update(ObjectKey::new(2), 10.0);
+/// assert_eq!(heap.peek_min(), Some((ObjectKey::new(3), 3.0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UtilityHeap {
+    /// Heap-ordered entries.
+    entries: Vec<(ObjectKey, f64)>,
+    /// Position of every key inside `entries`.
+    positions: HashMap<ObjectKey, usize>,
+}
+
+impl UtilityHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        UtilityHeap {
+            entries: Vec::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty heap with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        UtilityHeap {
+            entries: Vec::with_capacity(capacity),
+            positions: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the heap holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: ObjectKey) -> bool {
+        self.positions.contains_key(&key)
+    }
+
+    /// Returns the utility of `key`, if present.
+    pub fn utility(&self, key: ObjectKey) -> Option<f64> {
+        self.positions.get(&key).map(|&i| self.entries[i].1)
+    }
+
+    /// The minimum-utility entry without removing it.
+    pub fn peek_min(&self) -> Option<(ObjectKey, f64)> {
+        self.entries.first().copied()
+    }
+
+    /// Inserts a new entry or updates the utility of an existing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utility` is NaN.
+    pub fn insert(&mut self, key: ObjectKey, utility: f64) {
+        assert!(!utility.is_nan(), "utility must not be NaN");
+        if self.positions.contains_key(&key) {
+            self.update(key, utility);
+            return;
+        }
+        self.entries.push((key, utility));
+        let idx = self.entries.len() - 1;
+        self.positions.insert(key, idx);
+        self.sift_up(idx);
+    }
+
+    /// Updates the utility of an existing entry; inserts it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utility` is NaN.
+    pub fn update(&mut self, key: ObjectKey, utility: f64) {
+        assert!(!utility.is_nan(), "utility must not be NaN");
+        match self.positions.get(&key) {
+            None => self.insert(key, utility),
+            Some(&idx) => {
+                let old = self.entries[idx].1;
+                self.entries[idx].1 = utility;
+                if utility < old {
+                    self.sift_up(idx);
+                } else {
+                    self.sift_down(idx);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the minimum-utility entry.
+    pub fn pop_min(&mut self) -> Option<(ObjectKey, f64)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let min = self.entries[0];
+        self.remove(min.0);
+        Some(min)
+    }
+
+    /// Removes an arbitrary entry. Returns its utility if it was present.
+    pub fn remove(&mut self, key: ObjectKey) -> Option<f64> {
+        let idx = *self.positions.get(&key)?;
+        let removed_utility = self.entries[idx].1;
+        let last = self.entries.len() - 1;
+        self.entries.swap(idx, last);
+        let moved = self.entries[idx].0;
+        self.positions.insert(moved, idx);
+        self.entries.pop();
+        self.positions.remove(&key);
+        if idx < self.entries.len() {
+            self.sift_down(idx);
+            self.sift_up(idx);
+        }
+        Some(removed_utility)
+    }
+
+    /// Iterates over all entries in unspecified (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectKey, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.entries[idx].1 < self.entries[parent].1 {
+                self.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        loop {
+            let left = 2 * idx + 1;
+            let right = 2 * idx + 2;
+            let mut smallest = idx;
+            if left < self.entries.len() && self.entries[left].1 < self.entries[smallest].1 {
+                smallest = left;
+            }
+            if right < self.entries.len() && self.entries[right].1 < self.entries[smallest].1 {
+                smallest = right;
+            }
+            if smallest == idx {
+                break;
+            }
+            self.swap(idx, smallest);
+            idx = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.entries.swap(a, b);
+        self.positions.insert(self.entries[a].0, a);
+        self.positions.insert(self.entries[b].0, b);
+    }
+
+    /// Checks the heap invariant; used by tests and debug assertions.
+    #[cfg(any(test, debug_assertions))]
+    #[allow(dead_code)]
+    pub(crate) fn is_valid(&self) -> bool {
+        for i in 1..self.entries.len() {
+            let parent = (i - 1) / 2;
+            if self.entries[parent].1 > self.entries[i].1 {
+                return false;
+            }
+        }
+        self.positions.len() == self.entries.len()
+            && self
+                .positions
+                .iter()
+                .all(|(k, &i)| i < self.entries.len() && self.entries[i].0 == *k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> ObjectKey {
+        ObjectKey::new(i)
+    }
+
+    #[test]
+    fn insert_and_pop_in_order() {
+        let mut h = UtilityHeap::new();
+        for (i, u) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            h.insert(key(i as u64), *u);
+        }
+        assert_eq!(h.len(), 5);
+        assert!(h.is_valid());
+        let mut popped = Vec::new();
+        while let Some((_, u)) = h.pop_min() {
+            popped.push(u);
+        }
+        assert_eq!(popped, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn update_moves_entries() {
+        let mut h = UtilityHeap::new();
+        h.insert(key(1), 1.0);
+        h.insert(key(2), 2.0);
+        h.insert(key(3), 3.0);
+        h.update(key(1), 10.0);
+        assert_eq!(h.peek_min().unwrap().0, key(2));
+        h.update(key(3), 0.5);
+        assert_eq!(h.peek_min().unwrap().0, key(3));
+        assert!(h.is_valid());
+        assert_eq!(h.utility(key(1)), Some(10.0));
+    }
+
+    #[test]
+    fn insert_existing_key_updates() {
+        let mut h = UtilityHeap::new();
+        h.insert(key(1), 5.0);
+        h.insert(key(1), 2.0);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.utility(key(1)), Some(2.0));
+    }
+
+    #[test]
+    fn update_missing_key_inserts() {
+        let mut h = UtilityHeap::new();
+        h.update(key(7), 1.5);
+        assert!(h.contains(key(7)));
+    }
+
+    #[test]
+    fn remove_arbitrary_entries() {
+        let mut h = UtilityHeap::new();
+        for i in 0..20 {
+            h.insert(key(i), (20 - i) as f64);
+        }
+        assert_eq!(h.remove(key(5)), Some(15.0));
+        assert_eq!(h.remove(key(5)), None);
+        assert_eq!(h.len(), 19);
+        assert!(h.is_valid());
+        assert!(!h.contains(key(5)));
+        // Remaining entries still pop in sorted order.
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((_, u)) = h.pop_min() {
+            assert!(u >= prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn remove_last_and_empty_pop() {
+        let mut h = UtilityHeap::new();
+        assert_eq!(h.pop_min(), None);
+        h.insert(key(1), 1.0);
+        assert_eq!(h.remove(key(1)), Some(1.0));
+        assert!(h.is_empty());
+        assert!(h.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_utility_panics() {
+        let mut h = UtilityHeap::new();
+        h.insert(key(1), f64::NAN);
+    }
+
+    #[test]
+    fn iter_and_with_capacity() {
+        let mut h = UtilityHeap::with_capacity(4);
+        h.insert(key(1), 1.0);
+        h.insert(key(2), 2.0);
+        let mut items: Vec<_> = h.iter().collect();
+        items.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(items, vec![(key(1), 1.0), (key(2), 2.0)]);
+    }
+
+    #[test]
+    fn randomised_operations_keep_invariant() {
+        // Deterministic pseudo-random sequence without external crates.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut h = UtilityHeap::new();
+        for _ in 0..2_000 {
+            let k = key(next() % 100);
+            match next() % 3 {
+                0 => h.insert(k, (next() % 1_000) as f64),
+                1 => h.update(k, (next() % 1_000) as f64),
+                _ => {
+                    h.remove(k);
+                }
+            }
+            debug_assert!(h.is_valid());
+        }
+        assert!(h.is_valid());
+    }
+}

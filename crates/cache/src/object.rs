@@ -1,0 +1,106 @@
+//! Object metadata consumed by the caching algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Key identifying a streaming media object at the cache.
+///
+/// Keys are opaque to the caching algorithms; the simulator uses the dense
+/// catalog index, while the proxy prototype derives keys from URLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectKey(pub u64);
+
+impl ObjectKey {
+    /// Creates a key from a raw integer.
+    pub fn new(raw: u64) -> Self {
+        ObjectKey(raw)
+    }
+
+    /// The raw integer value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key#{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectKey {
+    fn from(raw: u64) -> Self {
+        ObjectKey(raw)
+    }
+}
+
+/// Metadata of a CBR streaming media object as seen by the cache.
+///
+/// All the caching decisions of the paper are functions of the object's
+/// duration `T_i`, bit-rate `r_i`, value `V_i`, observed request frequency
+/// `F_i` and the measured bandwidth `b_i` to the origin server. The first
+/// three are static properties captured here; frequency and bandwidth are
+/// supplied per access.
+///
+/// ```
+/// use sc_cache::{ObjectKey, ObjectMeta};
+///
+/// let meta = ObjectMeta::new(ObjectKey::new(1), 600.0, 48_000.0, 5.0);
+/// assert_eq!(meta.size_bytes(), 600.0 * 48_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// Cache key of the object.
+    pub key: ObjectKey,
+    /// Playback duration `T_i` in seconds.
+    pub duration_secs: f64,
+    /// CBR encoding rate `r_i` in bytes per second.
+    pub bitrate_bps: f64,
+    /// Value `V_i` of an immediate playout (Section 2.6); zero when the
+    /// value-based objective is not used.
+    pub value: f64,
+}
+
+impl ObjectMeta {
+    /// Creates object metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions only) if `duration_secs` or `bitrate_bps` is
+    /// not strictly positive or `value` is negative.
+    pub fn new(key: ObjectKey, duration_secs: f64, bitrate_bps: f64, value: f64) -> Self {
+        debug_assert!(duration_secs > 0.0, "duration must be positive");
+        debug_assert!(bitrate_bps > 0.0, "bitrate must be positive");
+        debug_assert!(value >= 0.0, "value must be non-negative");
+        ObjectMeta {
+            key,
+            duration_secs,
+            bitrate_bps,
+            value,
+        }
+    }
+
+    /// Total size `T_i · r_i` in bytes.
+    pub fn size_bytes(&self) -> f64 {
+        self.duration_secs * self.bitrate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_and_display() {
+        let k = ObjectKey::new(9);
+        assert_eq!(k.as_u64(), 9);
+        assert_eq!(ObjectKey::from(9u64), k);
+        assert_eq!(k.to_string(), "key#9");
+    }
+
+    #[test]
+    fn meta_size() {
+        let m = ObjectMeta::new(ObjectKey::new(0), 100.0, 2_000.0, 0.0);
+        assert_eq!(m.size_bytes(), 200_000.0);
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline optimal cache-population solvers (Sections 2.3 and 2.6).
+//!
+//! With prior knowledge of request arrival rates, the delay-minimising
+//! allocation is a **fractional knapsack**: rank objects by `λ_i / b_i`,
+//! cache each up to `(r_i − b_i)⁺ · T_i`, until the capacity is exhausted.
+//! The value-maximising variant of Section 2.6 is a 0/1 knapsack: the paper
+//! uses a greedy value-density heuristic; an exact dynamic-programming
+//! solver is included for validating the greedy solution on small instances.
+
+use crate::alloc::prefix_bytes_needed;
+use crate::error::CacheError;
+use crate::object::ObjectMeta;
+
+/// Inputs describing one object for the offline solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineObject {
+    /// The object's static metadata.
+    pub meta: ObjectMeta,
+    /// Request arrival rate `λ_i` (requests per unit time).
+    pub arrival_rate: f64,
+    /// Bandwidth `b_i` between the cache and the object's origin server in
+    /// bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl OfflineObject {
+    /// Creates an offline-solver input record.
+    pub fn new(meta: ObjectMeta, arrival_rate: f64, bandwidth_bps: f64) -> Self {
+        OfflineObject {
+            meta,
+            arrival_rate,
+            bandwidth_bps,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CacheError> {
+        if !self.arrival_rate.is_finite() || self.arrival_rate < 0.0 {
+            return Err(CacheError::InvalidInput("arrival_rate", self.arrival_rate));
+        }
+        if !self.bandwidth_bps.is_finite() || self.bandwidth_bps < 0.0 {
+            return Err(CacheError::InvalidInput("bandwidth_bps", self.bandwidth_bps));
+        }
+        Ok(())
+    }
+}
+
+/// The delay-optimal static allocation of Section 2.3.
+///
+/// Returns the cached prefix size `x_i` (bytes) for each object, in input
+/// order. Objects with `r_i ≤ b_i` receive zero; the remaining objects are
+/// considered in decreasing `λ_i / b_i` order and each receives up to
+/// `(r_i − b_i)·T_i` bytes until the capacity runs out (the marginal object
+/// receives a fractional prefix — this is the fractional knapsack optimum).
+///
+/// # Errors
+///
+/// Returns [`CacheError::InvalidCapacity`] for a negative or non-finite
+/// capacity and [`CacheError::InvalidInput`] for negative or non-finite
+/// arrival rates or bandwidths.
+///
+/// ```
+/// use sc_cache::{optimal_partial_allocation, ObjectKey, ObjectMeta, OfflineObject};
+///
+/// # fn main() -> Result<(), sc_cache::CacheError> {
+/// let slow = OfflineObject::new(
+///     ObjectMeta::new(ObjectKey::new(0), 100.0, 48_000.0, 0.0), 1.0, 16_000.0);
+/// let fast = OfflineObject::new(
+///     ObjectMeta::new(ObjectKey::new(1), 100.0, 48_000.0, 0.0), 1.0, 64_000.0);
+/// let alloc = optimal_partial_allocation(&[slow, fast], 10_000_000.0)?;
+/// assert_eq!(alloc[0], 100.0 * 32_000.0); // deficit of the slow object
+/// assert_eq!(alloc[1], 0.0);              // fast object is never cached
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimal_partial_allocation(
+    objects: &[OfflineObject],
+    capacity_bytes: f64,
+) -> Result<Vec<f64>, CacheError> {
+    if !capacity_bytes.is_finite() || capacity_bytes < 0.0 {
+        return Err(CacheError::InvalidCapacity(capacity_bytes));
+    }
+    for o in objects {
+        o.validate()?;
+    }
+    let mut allocation = vec![0.0; objects.len()];
+    // Candidates: objects whose bit-rate exceeds the path bandwidth.
+    let mut order: Vec<usize> = (0..objects.len())
+        .filter(|&i| objects[i].meta.bitrate_bps > objects[i].bandwidth_bps)
+        .collect();
+    // Sort by decreasing λ/b; zero-bandwidth objects sort first.
+    order.sort_by(|&a, &b| {
+        let ua = ratio(objects[a].arrival_rate, objects[a].bandwidth_bps);
+        let ub = ratio(objects[b].arrival_rate, objects[b].bandwidth_bps);
+        ub.partial_cmp(&ua).expect("ratios are never NaN")
+    });
+    let mut remaining = capacity_bytes;
+    for i in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let o = &objects[i];
+        let want = prefix_bytes_needed(o.meta.duration_secs, o.meta.bitrate_bps, o.bandwidth_bps);
+        let grant = want.min(remaining);
+        allocation[i] = grant;
+        remaining -= grant;
+    }
+    Ok(allocation)
+}
+
+/// Expected average service delay (seconds per request) under a given
+/// allocation, weighting each object's startup delay by its arrival rate —
+/// the objective the optimal allocation minimises.
+///
+/// # Errors
+///
+/// Returns [`CacheError::LengthMismatch`] if `allocation` and `objects`
+/// have different lengths.
+pub fn average_service_delay(
+    objects: &[OfflineObject],
+    allocation: &[f64],
+) -> Result<f64, CacheError> {
+    if objects.len() != allocation.len() {
+        return Err(CacheError::LengthMismatch(objects.len(), allocation.len()));
+    }
+    let total_rate: f64 = objects.iter().map(|o| o.arrival_rate).sum();
+    if total_rate <= 0.0 {
+        return Ok(0.0);
+    }
+    let weighted: f64 = objects
+        .iter()
+        .zip(allocation)
+        .map(|(o, &x)| o.arrival_rate * o.meta.service_delay(o.bandwidth_bps, x))
+        .sum();
+    Ok(weighted / total_rate)
+}
+
+/// Greedy solution of the value-maximisation problem of Section 2.6.
+///
+/// Selects objects in decreasing value-density order
+/// `λ_i·V_i / (T_i·r_i − T_i·b_i)` and caches the full immediate-service
+/// prefix `[T_i·r_i − T_i·b_i]⁺` of each selected object while it fits.
+/// Returns a boolean selection vector in input order.
+///
+/// # Errors
+///
+/// Same validation errors as [`optimal_partial_allocation`].
+pub fn greedy_value_selection(
+    objects: &[OfflineObject],
+    capacity_bytes: f64,
+) -> Result<Vec<bool>, CacheError> {
+    if !capacity_bytes.is_finite() || capacity_bytes < 0.0 {
+        return Err(CacheError::InvalidCapacity(capacity_bytes));
+    }
+    for o in objects {
+        o.validate()?;
+    }
+    let mut selected = vec![false; objects.len()];
+    let mut order: Vec<usize> = (0..objects.len())
+        .filter(|&i| objects[i].meta.bitrate_bps > objects[i].bandwidth_bps)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let da = value_density(&objects[a]);
+        let db = value_density(&objects[b]);
+        db.partial_cmp(&da).expect("densities are never NaN")
+    });
+    let mut remaining = capacity_bytes;
+    for i in order {
+        let cost = immediate_service_cost(&objects[i]);
+        if cost <= remaining {
+            selected[i] = true;
+            remaining -= cost;
+        }
+    }
+    Ok(selected)
+}
+
+/// Exact 0/1 knapsack solution of the value-maximisation problem via dynamic
+/// programming over a discretised capacity grid.
+///
+/// Intended for validating [`greedy_value_selection`] on small instances
+/// (the DP runs in `O(n · resolution)` time and memory). `resolution` is the
+/// number of capacity buckets; costs are rounded **up** to the next bucket,
+/// so the returned selection never exceeds the true capacity.
+///
+/// # Errors
+///
+/// Same validation errors as [`greedy_value_selection`], plus
+/// [`CacheError::InvalidInput`] when `resolution` is zero.
+pub fn exact_value_selection(
+    objects: &[OfflineObject],
+    capacity_bytes: f64,
+    resolution: usize,
+) -> Result<Vec<bool>, CacheError> {
+    if !capacity_bytes.is_finite() || capacity_bytes < 0.0 {
+        return Err(CacheError::InvalidCapacity(capacity_bytes));
+    }
+    if resolution == 0 {
+        return Err(CacheError::InvalidInput("resolution", 0.0));
+    }
+    for o in objects {
+        o.validate()?;
+    }
+    let bucket = if capacity_bytes > 0.0 {
+        capacity_bytes / resolution as f64
+    } else {
+        1.0
+    };
+    // Integer costs (rounded up) and gains per candidate object.
+    let mut items: Vec<(usize, usize, f64)> = Vec::new(); // (index, cost_buckets, gain)
+    for (i, o) in objects.iter().enumerate() {
+        if o.meta.bitrate_bps <= o.bandwidth_bps {
+            continue;
+        }
+        let cost = immediate_service_cost(o);
+        let cost_buckets = (cost / bucket).ceil() as usize;
+        let gain = o.arrival_rate * o.meta.value;
+        if cost_buckets <= resolution && gain > 0.0 {
+            items.push((i, cost_buckets.max(1), gain));
+        }
+    }
+    // DP over capacity buckets.
+    let mut best = vec![0.0f64; resolution + 1];
+    let mut take = vec![vec![false; resolution + 1]; items.len()];
+    for (item_idx, &(_, cost, gain)) in items.iter().enumerate() {
+        for cap in (cost..=resolution).rev() {
+            let candidate = best[cap - cost] + gain;
+            if candidate > best[cap] {
+                best[cap] = candidate;
+                take[item_idx][cap] = true;
+            }
+        }
+    }
+    // Backtrack.
+    let mut selected = vec![false; objects.len()];
+    let mut cap = resolution;
+    for item_idx in (0..items.len()).rev() {
+        if take[item_idx][cap] {
+            let (obj_idx, cost, _) = items[item_idx];
+            selected[obj_idx] = true;
+            cap -= cost;
+        }
+    }
+    Ok(selected)
+}
+
+/// Total expected value rate `Σ λ_i·V_i` of the selected objects.
+///
+/// # Errors
+///
+/// Returns [`CacheError::LengthMismatch`] if the slices differ in length.
+pub fn total_value(objects: &[OfflineObject], selected: &[bool]) -> Result<f64, CacheError> {
+    if objects.len() != selected.len() {
+        return Err(CacheError::LengthMismatch(objects.len(), selected.len()));
+    }
+    Ok(objects
+        .iter()
+        .zip(selected)
+        .filter(|(_, &s)| s)
+        .map(|(o, _)| o.arrival_rate * o.meta.value)
+        .sum())
+}
+
+fn ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator <= 0.0 {
+        f64::INFINITY
+    } else {
+        numerator / denominator
+    }
+}
+
+fn value_density(o: &OfflineObject) -> f64 {
+    let cost = immediate_service_cost(o);
+    if cost <= 0.0 {
+        f64::INFINITY
+    } else {
+        o.arrival_rate * o.meta.value / cost
+    }
+}
+
+fn immediate_service_cost(o: &OfflineObject) -> f64 {
+    prefix_bytes_needed(o.meta.duration_secs, o.meta.bitrate_bps, o.bandwidth_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKey;
+
+    const R: f64 = 48_000.0;
+
+    fn off(key: u64, duration: f64, rate: f64, bandwidth: f64, value: f64) -> OfflineObject {
+        OfflineObject::new(
+            ObjectMeta::new(ObjectKey::new(key), duration, R, value),
+            rate,
+            bandwidth,
+        )
+    }
+
+    #[test]
+    fn validation_errors() {
+        let good = off(0, 100.0, 1.0, R / 2.0, 1.0);
+        assert!(optimal_partial_allocation(&[good], -1.0).is_err());
+        let bad_rate = OfflineObject {
+            arrival_rate: -1.0,
+            ..good
+        };
+        assert!(optimal_partial_allocation(&[bad_rate], 10.0).is_err());
+        let bad_bw = OfflineObject {
+            bandwidth_bps: f64::NAN,
+            ..good
+        };
+        assert!(optimal_partial_allocation(&[bad_bw], 10.0).is_err());
+        assert!(exact_value_selection(&[good], 10.0, 0).is_err());
+        assert!(average_service_delay(&[good], &[]).is_err());
+        assert!(total_value(&[good], &[]).is_err());
+    }
+
+    #[test]
+    fn fast_objects_are_never_cached() {
+        let objects = vec![off(0, 100.0, 10.0, 2.0 * R, 1.0), off(1, 100.0, 1.0, R, 1.0)];
+        let alloc = optimal_partial_allocation(&objects, 1e12).unwrap();
+        assert_eq!(alloc, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn allocation_prefers_high_lambda_over_b() {
+        // Object 0: λ=1, b=R/2 → λ/b small. Object 1: λ=5, b=R/4 → λ/b large.
+        let objects = vec![
+            off(0, 100.0, 1.0, R / 2.0, 1.0),
+            off(1, 100.0, 5.0, R / 4.0, 1.0),
+        ];
+        // Capacity only fits one deficit: object 1 needs 0.75*size.
+        let capacity = 0.75 * 100.0 * R;
+        let alloc = optimal_partial_allocation(&objects, capacity).unwrap();
+        assert_eq!(alloc[1], 0.75 * 100.0 * R);
+        assert_eq!(alloc[0], 0.0);
+    }
+
+    #[test]
+    fn marginal_object_gets_fractional_prefix() {
+        let objects = vec![
+            off(0, 100.0, 5.0, R / 4.0, 1.0),
+            off(1, 100.0, 1.0, R / 2.0, 1.0),
+        ];
+        let deficit0 = 0.75 * 100.0 * R;
+        let capacity = deficit0 + 1_000.0; // 1 KB left for object 1
+        let alloc = optimal_partial_allocation(&objects, capacity).unwrap();
+        assert_eq!(alloc[0], deficit0);
+        assert!((alloc[1] - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let objects: Vec<OfflineObject> = (0..50)
+            .map(|i| off(i, 100.0 + i as f64, 1.0 + i as f64, R / 3.0, 1.0))
+            .collect();
+        let capacity = 5e6;
+        let alloc = optimal_partial_allocation(&objects, capacity).unwrap();
+        let total: f64 = alloc.iter().sum();
+        assert!(total <= capacity + 1e-6);
+    }
+
+    #[test]
+    fn optimal_allocation_beats_naive_allocations_on_delay() {
+        let objects = vec![
+            off(0, 100.0, 10.0, R / 4.0, 1.0),
+            off(1, 100.0, 1.0, R / 2.0, 1.0),
+            off(2, 100.0, 4.0, R / 3.0, 1.0),
+            off(3, 200.0, 2.0, R / 5.0, 1.0),
+        ];
+        let capacity = 8e6;
+        let optimal = optimal_partial_allocation(&objects, capacity).unwrap();
+        let optimal_delay = average_service_delay(&objects, &optimal).unwrap();
+        // Naive: split capacity equally.
+        let equal: Vec<f64> = objects
+            .iter()
+            .map(|o| (capacity / objects.len() as f64).min(o.meta.size_bytes()))
+            .collect();
+        let equal_delay = average_service_delay(&objects, &equal).unwrap();
+        assert!(optimal_delay <= equal_delay + 1e-9);
+        // Caching nothing is worst.
+        let nothing_delay = average_service_delay(&objects, &vec![0.0; 4]).unwrap();
+        assert!(optimal_delay < nothing_delay);
+    }
+
+    #[test]
+    fn zero_capacity_allocates_nothing() {
+        let objects = vec![off(0, 100.0, 1.0, R / 2.0, 1.0)];
+        let alloc = optimal_partial_allocation(&objects, 0.0).unwrap();
+        assert_eq!(alloc, vec![0.0]);
+    }
+
+    #[test]
+    fn greedy_value_selection_prefers_high_density() {
+        // Object 0: high value, cheap to cache; object 1: low value, costly.
+        let objects = vec![
+            off(0, 50.0, 2.0, R / 2.0, 10.0),
+            off(1, 500.0, 1.0, R / 2.0, 1.0),
+            off(2, 100.0, 1.0, 2.0 * R, 10.0), // abundant bandwidth: never selected
+        ];
+        let capacity = 50.0 * R / 2.0 + 10.0;
+        let selected = greedy_value_selection(&objects, capacity).unwrap();
+        assert_eq!(selected, vec![true, false, false]);
+        let v = total_value(&objects, &selected).unwrap();
+        assert!((v - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_dp_matches_or_beats_greedy_on_small_instances() {
+        let objects = vec![
+            off(0, 60.0, 3.0, R / 2.0, 4.0),
+            off(1, 90.0, 1.0, R / 3.0, 9.0),
+            off(2, 40.0, 2.0, R / 4.0, 2.0),
+            off(3, 120.0, 1.0, R / 2.0, 7.0),
+            off(4, 30.0, 5.0, R / 2.0, 1.0),
+        ];
+        let capacity = 4e6;
+        let greedy = greedy_value_selection(&objects, capacity).unwrap();
+        let exact = exact_value_selection(&objects, capacity, 4_000).unwrap();
+        let greedy_value = total_value(&objects, &greedy).unwrap();
+        let exact_value = total_value(&objects, &exact).unwrap();
+        assert!(exact_value + 1e-9 >= greedy_value);
+        // Exact selection must respect capacity.
+        let used: f64 = objects
+            .iter()
+            .zip(&exact)
+            .filter(|(_, &s)| s)
+            .map(|(o, _)| {
+                prefix_bytes_needed(o.meta.duration_secs, o.meta.bitrate_bps, o.bandwidth_bps)
+            })
+            .sum();
+        assert!(used <= capacity + 1e-6);
+    }
+
+    #[test]
+    fn exact_dp_on_zero_capacity_selects_nothing() {
+        let objects = vec![off(0, 60.0, 3.0, R / 2.0, 4.0)];
+        let exact = exact_value_selection(&objects, 0.0, 100).unwrap();
+        assert_eq!(exact, vec![false]);
+    }
+
+    #[test]
+    fn average_delay_zero_rate_is_zero() {
+        let objects = vec![off(0, 100.0, 0.0, R / 2.0, 1.0)];
+        assert_eq!(average_service_delay(&objects, &[0.0]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Integral bandwidth-based caching (IB).
+
+use crate::object::ObjectMeta;
+use crate::policy::traits::{safe_ratio, UtilityPolicy};
+
+/// Integral Bandwidth-based caching (**IB** in the paper, Section 2.5).
+///
+/// Ranks objects by `F_i / b_i` — frequently requested objects behind slow
+/// paths are the most valuable — but caches **whole objects only**. This is
+/// the most conservative variant: it needs no coordination between cache and
+/// origin, and it is the most robust to bandwidth variability (Figure 7),
+/// at the cost of fitting fewer objects in the cache.
+///
+/// Objects whose bit-rate does not exceed the path bandwidth (`r ≤ b`) are
+/// never cached.
+///
+/// ```
+/// use sc_cache::policy::{IntegralBandwidth, UtilityPolicy};
+/// use sc_cache::{ObjectKey, ObjectMeta};
+///
+/// let policy = IntegralBandwidth::new();
+/// let obj = ObjectMeta::new(ObjectKey::new(0), 100.0, 48_000.0, 0.0);
+/// // Slow path: cache the whole object.
+/// assert_eq!(policy.target_bytes(&obj, 10_000.0), obj.size_bytes());
+/// // Fast path: do not cache at all.
+/// assert_eq!(policy.target_bytes(&obj, 64_000.0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegralBandwidth;
+
+impl IntegralBandwidth {
+    /// Creates the IB policy.
+    pub fn new() -> Self {
+        IntegralBandwidth
+    }
+}
+
+impl UtilityPolicy for IntegralBandwidth {
+    fn name(&self) -> String {
+        "IB".to_string()
+    }
+
+    fn utility(&self, _meta: &ObjectMeta, frequency: u64, bandwidth_bps: f64, _clock: u64) -> f64 {
+        safe_ratio(frequency as f64, bandwidth_bps)
+    }
+
+    fn target_bytes(&self, meta: &ObjectMeta, bandwidth_bps: f64) -> f64 {
+        if meta.bandwidth_sufficient(bandwidth_bps) {
+            0.0
+        } else {
+            meta.size_bytes()
+        }
+    }
+
+    fn allows_partial_admission(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKey;
+
+    fn obj() -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(2), 100.0, 48_000.0, 0.0)
+    }
+
+    #[test]
+    fn utility_prefers_slow_paths() {
+        let p = IntegralBandwidth::new();
+        let slow = p.utility(&obj(), 5, 10_000.0, 0);
+        let fast = p.utility(&obj(), 5, 100_000.0, 0);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn utility_scales_with_frequency() {
+        let p = IntegralBandwidth::new();
+        assert!(p.utility(&obj(), 10, 10_000.0, 0) > p.utility(&obj(), 1, 10_000.0, 0));
+    }
+
+    #[test]
+    fn zero_bandwidth_is_infinitely_valuable() {
+        let p = IntegralBandwidth::new();
+        assert_eq!(p.utility(&obj(), 1, 0.0, 0), f64::INFINITY);
+        assert_eq!(p.target_bytes(&obj(), 0.0), obj().size_bytes());
+    }
+
+    #[test]
+    fn sufficient_bandwidth_means_no_caching() {
+        let p = IntegralBandwidth::new();
+        assert_eq!(p.target_bytes(&obj(), 48_000.0), 0.0);
+        assert_eq!(p.target_bytes(&obj(), 1e9), 0.0);
+        assert_eq!(p.target_bytes(&obj(), 47_999.0), obj().size_bytes());
+    }
+
+    #[test]
+    fn integral_admission() {
+        let p = IntegralBandwidth::new();
+        assert!(!p.allows_partial_admission());
+        assert_eq!(p.name(), "IB");
+    }
+}

@@ -1,0 +1,121 @@
+//! Frequency-based integral caching (IF) and LFU.
+
+use crate::object::ObjectMeta;
+use crate::policy::traits::UtilityPolicy;
+
+/// Integral Frequency-based caching (**IF** in the paper).
+///
+/// Caches whole objects, ranked purely by request frequency; it is
+/// network-oblivious and serves as the classic baseline in Figures 5, 7, 8,
+/// 10 and 11. Functionally this is an LFU policy over whole streaming
+/// objects.
+///
+/// ```
+/// use sc_cache::policy::{IntegralFrequency, UtilityPolicy};
+/// use sc_cache::{ObjectKey, ObjectMeta};
+///
+/// let policy = IntegralFrequency::new();
+/// let obj = ObjectMeta::new(ObjectKey::new(0), 100.0, 1_000.0, 0.0);
+/// // Frequency drives utility; bandwidth is ignored.
+/// assert_eq!(policy.utility(&obj, 7, 1e9, 0), 7.0);
+/// assert_eq!(policy.target_bytes(&obj, 1e9), obj.size_bytes());
+/// assert!(!policy.allows_partial_admission());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegralFrequency;
+
+impl IntegralFrequency {
+    /// Creates the IF policy.
+    pub fn new() -> Self {
+        IntegralFrequency
+    }
+}
+
+impl UtilityPolicy for IntegralFrequency {
+    fn name(&self) -> String {
+        "IF".to_string()
+    }
+
+    fn utility(&self, _meta: &ObjectMeta, frequency: u64, _bandwidth_bps: f64, _clock: u64) -> f64 {
+        frequency as f64
+    }
+
+    fn target_bytes(&self, meta: &ObjectMeta, _bandwidth_bps: f64) -> f64 {
+        meta.size_bytes()
+    }
+
+    fn allows_partial_admission(&self) -> bool {
+        false
+    }
+}
+
+/// Least-Frequently-Used caching over whole objects.
+///
+/// Identical ranking to [`IntegralFrequency`]; provided under its
+/// conventional name for the baseline comparisons of Section 3.3 (the paper
+/// groups LFU/LRU as algorithms that "cache objects based on their access
+/// frequency only, not on the network bandwidth").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lfu;
+
+impl Lfu {
+    /// Creates the LFU policy.
+    pub fn new() -> Self {
+        Lfu
+    }
+}
+
+impl UtilityPolicy for Lfu {
+    fn name(&self) -> String {
+        "LFU".to_string()
+    }
+
+    fn utility(&self, _meta: &ObjectMeta, frequency: u64, _bandwidth_bps: f64, _clock: u64) -> f64 {
+        frequency as f64
+    }
+
+    fn target_bytes(&self, meta: &ObjectMeta, _bandwidth_bps: f64) -> f64 {
+        meta.size_bytes()
+    }
+
+    fn allows_partial_admission(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKey;
+
+    fn obj() -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(1), 200.0, 48_000.0, 3.0)
+    }
+
+    #[test]
+    fn if_ignores_bandwidth() {
+        let p = IntegralFrequency::new();
+        assert_eq!(p.utility(&obj(), 3, 10.0, 0), p.utility(&obj(), 3, 1e9, 5));
+        assert_eq!(p.target_bytes(&obj(), 0.0), obj().size_bytes());
+        assert_eq!(p.target_bytes(&obj(), 1e12), obj().size_bytes());
+        assert_eq!(p.name(), "IF");
+    }
+
+    #[test]
+    fn utility_increases_with_frequency() {
+        let p = IntegralFrequency::new();
+        assert!(p.utility(&obj(), 10, 1.0, 0) > p.utility(&obj(), 2, 1.0, 0));
+    }
+
+    #[test]
+    fn lfu_matches_if_ranking() {
+        let p = Lfu::new();
+        let q = IntegralFrequency::new();
+        assert_eq!(
+            p.utility(&obj(), 4, 100.0, 9),
+            q.utility(&obj(), 4, 100.0, 9)
+        );
+        assert_eq!(p.name(), "LFU");
+        assert!(!p.allows_partial_admission());
+    }
+}

@@ -1,0 +1,135 @@
+//! The conservative (over-provisioning) hybrid between PB and IB.
+
+use crate::alloc::conservative_prefix_bytes;
+use crate::object::ObjectMeta;
+use crate::policy::traits::{safe_ratio, UtilityPolicy};
+
+/// Partial bandwidth-based caching with a conservative bandwidth estimator
+/// (**PB(e)** in the paper, Sections 2.5 and 4.3, Figure 9).
+///
+/// The policy under-estimates the measured bandwidth by a factor
+/// `e ∈ [0, 1]` and caches a prefix of `(r − e·b)⁺ · T` bytes. This spans a
+/// spectrum of algorithms:
+///
+/// * `e = 1` — exactly [`PartialBandwidth`](crate::policy::PartialBandwidth)
+///   (cache the minimum prefix; optimal under constant bandwidth).
+/// * `e = 0` — whole-object caching by `F/b`, i.e. the behaviour of
+///   [`IntegralBandwidth`](crate::policy::IntegralBandwidth) without the
+///   `r > b` admission filter.
+/// * intermediate `e` — over-provisioned prefixes that tolerate bandwidth
+///   variability (Figure 9 shows a moderate `e` minimises delay under
+///   variable bandwidth).
+///
+/// ```
+/// use sc_cache::policy::{HybridPartialBandwidth, UtilityPolicy};
+/// use sc_cache::{ObjectKey, ObjectMeta};
+///
+/// let obj = ObjectMeta::new(ObjectKey::new(0), 100.0, 48_000.0, 0.0);
+/// let b = 24_000.0;
+/// let aggressive = HybridPartialBandwidth::new(1.0);
+/// let conservative = HybridPartialBandwidth::new(0.5);
+/// assert!(conservative.target_bytes(&obj, b) > aggressive.target_bytes(&obj, b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridPartialBandwidth {
+    estimator_e: f64,
+}
+
+impl HybridPartialBandwidth {
+    /// Creates the hybrid policy with conservative factor `e`, clamped to
+    /// `[0, 1]`.
+    pub fn new(estimator_e: f64) -> Self {
+        HybridPartialBandwidth {
+            estimator_e: estimator_e.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The conservative factor `e`.
+    pub fn estimator_e(&self) -> f64 {
+        self.estimator_e
+    }
+}
+
+impl Default for HybridPartialBandwidth {
+    /// Defaults to `e = 1` (pure PB behaviour).
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl UtilityPolicy for HybridPartialBandwidth {
+    fn name(&self) -> String {
+        format!("PB(e={:.2})", self.estimator_e)
+    }
+
+    fn utility(&self, _meta: &ObjectMeta, frequency: u64, bandwidth_bps: f64, _clock: u64) -> f64 {
+        safe_ratio(frequency as f64, bandwidth_bps)
+    }
+
+    fn target_bytes(&self, meta: &ObjectMeta, bandwidth_bps: f64) -> f64 {
+        conservative_prefix_bytes(
+            meta.duration_secs,
+            meta.bitrate_bps,
+            bandwidth_bps,
+            self.estimator_e,
+        )
+    }
+
+    fn allows_partial_admission(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKey;
+    use crate::policy::partial::PartialBandwidth;
+
+    fn obj() -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(4), 100.0, 48_000.0, 0.0)
+    }
+
+    #[test]
+    fn e_one_matches_pb() {
+        let hybrid = HybridPartialBandwidth::new(1.0);
+        let pb = PartialBandwidth::new();
+        for b in [0.0, 10_000.0, 24_000.0, 48_000.0, 96_000.0] {
+            assert_eq!(hybrid.target_bytes(&obj(), b), pb.target_bytes(&obj(), b));
+        }
+    }
+
+    #[test]
+    fn e_zero_caches_whole_objects() {
+        let hybrid = HybridPartialBandwidth::new(0.0);
+        for b in [10_000.0, 48_000.0, 1e9] {
+            assert_eq!(hybrid.target_bytes(&obj(), b), obj().size_bytes());
+        }
+    }
+
+    #[test]
+    fn target_decreases_with_e() {
+        let b = 24_000.0;
+        let mut prev = f64::INFINITY;
+        for e in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = HybridPartialBandwidth::new(e).target_bytes(&obj(), b);
+            assert!(t <= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn e_is_clamped_and_named() {
+        assert_eq!(HybridPartialBandwidth::new(3.0).estimator_e(), 1.0);
+        assert_eq!(HybridPartialBandwidth::new(-1.0).estimator_e(), 0.0);
+        assert_eq!(HybridPartialBandwidth::new(0.5).name(), "PB(e=0.50)");
+        assert_eq!(HybridPartialBandwidth::default().estimator_e(), 1.0);
+    }
+
+    #[test]
+    fn utility_is_bandwidth_aware() {
+        let h = HybridPartialBandwidth::new(0.5);
+        assert!(h.utility(&obj(), 4, 10_000.0, 0) > h.utility(&obj(), 4, 40_000.0, 0));
+        assert!(h.allows_partial_admission());
+    }
+}

@@ -1,0 +1,91 @@
+//! Partial bandwidth-based caching (PB), the paper's headline policy.
+
+use crate::alloc::prefix_bytes_needed;
+use crate::object::ObjectMeta;
+use crate::policy::traits::{safe_ratio, UtilityPolicy};
+
+/// Partial Bandwidth-based caching (**PB** in the paper, Sections 2.3–2.4).
+///
+/// The online approximation of the optimal fractional-knapsack allocation:
+/// rank objects by `F_i / b_i` and cache a **prefix** of exactly
+/// `(r_i − b_i)⁺ · T_i` bytes — just enough for the cache and the origin
+/// server to jointly sustain immediate, continuous playout. Objects whose
+/// bit-rate does not exceed the path bandwidth are not cached at all.
+///
+/// Under the constant-bandwidth assumption PB minimises average service
+/// delay and maximises stream quality for a given cache size (Figure 5);
+/// under very high bandwidth variability the fixed prefix may prove too
+/// small, which is what the conservative
+/// [`HybridPartialBandwidth`](crate::policy::HybridPartialBandwidth) variant
+/// addresses.
+///
+/// ```
+/// use sc_cache::policy::{PartialBandwidth, UtilityPolicy};
+/// use sc_cache::{ObjectKey, ObjectMeta};
+///
+/// let policy = PartialBandwidth::new();
+/// let obj = ObjectMeta::new(ObjectKey::new(0), 100.0, 48_000.0, 0.0);
+/// // Path delivers half the bit-rate: cache half the object.
+/// assert_eq!(policy.target_bytes(&obj, 24_000.0), obj.size_bytes() / 2.0);
+/// assert!(policy.allows_partial_admission());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialBandwidth;
+
+impl PartialBandwidth {
+    /// Creates the PB policy.
+    pub fn new() -> Self {
+        PartialBandwidth
+    }
+}
+
+impl UtilityPolicy for PartialBandwidth {
+    fn name(&self) -> String {
+        "PB".to_string()
+    }
+
+    fn utility(&self, _meta: &ObjectMeta, frequency: u64, bandwidth_bps: f64, _clock: u64) -> f64 {
+        safe_ratio(frequency as f64, bandwidth_bps)
+    }
+
+    fn target_bytes(&self, meta: &ObjectMeta, bandwidth_bps: f64) -> f64 {
+        prefix_bytes_needed(meta.duration_secs, meta.bitrate_bps, bandwidth_bps)
+    }
+
+    fn allows_partial_admission(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKey;
+
+    fn obj() -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(3), 100.0, 48_000.0, 0.0)
+    }
+
+    #[test]
+    fn target_is_the_bandwidth_deficit() {
+        let p = PartialBandwidth::new();
+        assert_eq!(p.target_bytes(&obj(), 0.0), obj().size_bytes());
+        assert_eq!(p.target_bytes(&obj(), 12_000.0), 100.0 * 36_000.0);
+        assert_eq!(p.target_bytes(&obj(), 48_000.0), 0.0);
+        assert_eq!(p.target_bytes(&obj(), 96_000.0), 0.0);
+    }
+
+    #[test]
+    fn utility_matches_ib_ranking() {
+        let p = PartialBandwidth::new();
+        assert_eq!(p.utility(&obj(), 6, 12_000.0, 0), 6.0 / 12_000.0);
+        assert_eq!(p.utility(&obj(), 1, 0.0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn partial_admission_allowed() {
+        let p = PartialBandwidth::new();
+        assert!(p.allows_partial_admission());
+        assert_eq!(p.name(), "PB");
+    }
+}

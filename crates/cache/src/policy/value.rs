@@ -1,0 +1,199 @@
+//! Value-based caching policies (Section 2.6, Figures 10–12).
+
+use crate::alloc::conservative_prefix_bytes;
+use crate::object::ObjectMeta;
+use crate::policy::traits::{safe_ratio, UtilityPolicy};
+
+/// Partial Bandwidth-Value-based caching (**PB-V** in the paper).
+///
+/// The objective is to maximise the total value `Σ λ_i·V_i` of objects that
+/// can be played **immediately** (zero startup delay). Providing immediate
+/// service for object `i` requires caching `[T_i·r_i − T_i·b_i]⁺` bytes, so
+/// the greedy knapsack ranks objects by value density
+/// `λ_i·V_i / (T_i·r_i − T_i·b_i)` and caches exactly that prefix.
+///
+/// A conservative factor `e` (as in
+/// [`HybridPartialBandwidth`](crate::policy::HybridPartialBandwidth))
+/// enlarges the prefix to tolerate bandwidth variability; Figure 12 of the
+/// paper shows `e ≈ 0.5` maximises total added value under realistic
+/// variability.
+///
+/// Admission is all-or-nothing: a prefix smaller than the requirement does
+/// not enable immediate playout and therefore contributes no value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialBandwidthValue {
+    estimator_e: f64,
+}
+
+impl PartialBandwidthValue {
+    /// Creates the PB-V policy with the paper's exact prefix size (`e = 1`).
+    pub fn new() -> Self {
+        Self::with_estimator(1.0)
+    }
+
+    /// Creates the PB-V policy with conservative factor `e` (clamped to
+    /// `[0, 1]`).
+    pub fn with_estimator(estimator_e: f64) -> Self {
+        PartialBandwidthValue {
+            estimator_e: estimator_e.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The conservative factor `e`.
+    pub fn estimator_e(&self) -> f64 {
+        self.estimator_e
+    }
+}
+
+impl Default for PartialBandwidthValue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UtilityPolicy for PartialBandwidthValue {
+    fn name(&self) -> String {
+        if (self.estimator_e - 1.0).abs() < f64::EPSILON {
+            "PB-V".to_string()
+        } else {
+            format!("PB-V(e={:.2})", self.estimator_e)
+        }
+    }
+
+    fn utility(&self, meta: &ObjectMeta, frequency: u64, bandwidth_bps: f64, _clock: u64) -> f64 {
+        let cost = self.target_bytes(meta, bandwidth_bps);
+        if cost <= 0.0 {
+            // The object is never cached (abundant bandwidth): its utility
+            // is irrelevant, but must not read as "infinitely valuable".
+            0.0
+        } else {
+            safe_ratio(frequency as f64 * meta.value, cost)
+        }
+    }
+
+    fn target_bytes(&self, meta: &ObjectMeta, bandwidth_bps: f64) -> f64 {
+        if meta.bandwidth_sufficient(bandwidth_bps) {
+            // The origin alone can serve immediately; caching adds no value.
+            0.0
+        } else {
+            conservative_prefix_bytes(
+                meta.duration_secs,
+                meta.bitrate_bps,
+                bandwidth_bps,
+                self.estimator_e,
+            )
+        }
+    }
+
+    fn allows_partial_admission(&self) -> bool {
+        false
+    }
+}
+
+/// Integral Bandwidth-Value-based caching (**IB-V** in the paper).
+///
+/// Caches whole objects, ranked by `λ_i·V_i / (T_i·r_i·b_i)` — preferring
+/// objects with lower bandwidth, higher value and smaller size. Like IB,
+/// it needs no joint cache/origin delivery and is robust to bandwidth
+/// variability; Figures 10–11 show it strikes a balance between IF and PB-V.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegralBandwidthValue;
+
+impl IntegralBandwidthValue {
+    /// Creates the IB-V policy.
+    pub fn new() -> Self {
+        IntegralBandwidthValue
+    }
+}
+
+impl UtilityPolicy for IntegralBandwidthValue {
+    fn name(&self) -> String {
+        "IB-V".to_string()
+    }
+
+    fn utility(&self, meta: &ObjectMeta, frequency: u64, bandwidth_bps: f64, _clock: u64) -> f64 {
+        safe_ratio(
+            frequency as f64 * meta.value,
+            meta.size_bytes() * bandwidth_bps,
+        )
+    }
+
+    fn target_bytes(&self, meta: &ObjectMeta, bandwidth_bps: f64) -> f64 {
+        if meta.bandwidth_sufficient(bandwidth_bps) {
+            0.0
+        } else {
+            meta.size_bytes()
+        }
+    }
+
+    fn allows_partial_admission(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKey;
+
+    fn obj(value: f64) -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(5), 100.0, 48_000.0, value)
+    }
+
+    #[test]
+    fn pbv_target_is_immediate_service_prefix() {
+        let p = PartialBandwidthValue::new();
+        assert_eq!(p.target_bytes(&obj(5.0), 24_000.0), 100.0 * 24_000.0);
+        assert_eq!(p.target_bytes(&obj(5.0), 48_000.0), 0.0);
+        assert_eq!(p.target_bytes(&obj(5.0), 1e9), 0.0);
+    }
+
+    #[test]
+    fn pbv_utility_is_value_density() {
+        let p = PartialBandwidthValue::new();
+        let u = p.utility(&obj(8.0), 3, 24_000.0, 0);
+        assert!((u - 3.0 * 8.0 / (100.0 * 24_000.0)).abs() < 1e-15);
+        // Higher value, same cost: higher utility.
+        assert!(p.utility(&obj(10.0), 3, 24_000.0, 0) > p.utility(&obj(1.0), 3, 24_000.0, 0));
+        // No cost (abundant bandwidth): utility zero — never cached anyway.
+        assert_eq!(p.utility(&obj(10.0), 3, 48_000.0, 0), 0.0);
+    }
+
+    #[test]
+    fn pbv_estimator_grows_prefix() {
+        let exact = PartialBandwidthValue::new();
+        let conservative = PartialBandwidthValue::with_estimator(0.5);
+        assert!(
+            conservative.target_bytes(&obj(5.0), 24_000.0)
+                > exact.target_bytes(&obj(5.0), 24_000.0)
+        );
+        assert_eq!(conservative.name(), "PB-V(e=0.50)");
+        assert_eq!(exact.name(), "PB-V");
+        assert_eq!(PartialBandwidthValue::with_estimator(9.0).estimator_e(), 1.0);
+    }
+
+    #[test]
+    fn pbv_is_all_or_nothing() {
+        assert!(!PartialBandwidthValue::new().allows_partial_admission());
+    }
+
+    #[test]
+    fn ibv_prefers_low_bandwidth_high_value_small_objects() {
+        let p = IntegralBandwidthValue::new();
+        let small = ObjectMeta::new(ObjectKey::new(1), 50.0, 48_000.0, 5.0);
+        let large = ObjectMeta::new(ObjectKey::new(2), 500.0, 48_000.0, 5.0);
+        assert!(p.utility(&small, 2, 20_000.0, 0) > p.utility(&large, 2, 20_000.0, 0));
+        assert!(p.utility(&small, 2, 10_000.0, 0) > p.utility(&small, 2, 20_000.0, 0));
+        assert!(p.utility(&obj(9.0), 2, 20_000.0, 0) > p.utility(&obj(1.0), 2, 20_000.0, 0));
+        assert_eq!(p.utility(&obj(9.0), 2, 0.0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ibv_targets_whole_objects_behind_slow_paths() {
+        let p = IntegralBandwidthValue::new();
+        assert_eq!(p.target_bytes(&obj(5.0), 24_000.0), obj(5.0).size_bytes());
+        assert_eq!(p.target_bytes(&obj(5.0), 48_000.0), 0.0);
+        assert!(!p.allows_partial_admission());
+        assert_eq!(p.name(), "IB-V");
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests of the caching core: allocation math invariants,
+//! heap correctness, engine capacity safety and solver optimality bounds.
+
+use proptest::prelude::*;
+use sc_cache::policy::{
+    HybridPartialBandwidth, IntegralBandwidth, IntegralFrequency, PartialBandwidth, PolicyKind,
+};
+use sc_cache::{
+    average_service_delay, greedy_value_selection, optimal_partial_allocation,
+    prefix_bytes_needed, service_delay_secs, stream_quality, total_value, CacheEngine, ObjectKey,
+    ObjectMeta, OfflineObject, UtilityHeap,
+};
+
+fn meta(key: u64, duration: f64, bitrate: f64, value: f64) -> ObjectMeta {
+    ObjectMeta::new(ObjectKey::new(key), duration, bitrate, value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The prefix needed never exceeds the object size, and fully caching
+    /// that prefix always removes the startup delay.
+    #[test]
+    fn prefix_hides_delay(duration in 1.0f64..10_000.0, bitrate in 100.0f64..1e6, bandwidth in 0.0f64..2e6) {
+        let prefix = prefix_bytes_needed(duration, bitrate, bandwidth);
+        prop_assert!(prefix >= 0.0);
+        prop_assert!(prefix <= duration * bitrate + 1e-6);
+        if bandwidth > 0.0 {
+            let delay = service_delay_secs(duration, bitrate, bandwidth, prefix);
+            prop_assert!(delay.abs() < 1e-6, "delay {delay}");
+        }
+    }
+
+    /// Delay decreases monotonically (weakly) as more bytes are cached, and
+    /// quality increases monotonically.
+    #[test]
+    fn delay_and_quality_monotone(duration in 1.0f64..5_000.0, bitrate in 100.0f64..1e6,
+                                  bandwidth in 1.0f64..2e6, frac_a in 0.0f64..1.0, frac_b in 0.0f64..1.0) {
+        let size = duration * bitrate;
+        let (lo, hi) = if frac_a <= frac_b { (frac_a, frac_b) } else { (frac_b, frac_a) };
+        let d_lo = service_delay_secs(duration, bitrate, bandwidth, lo * size);
+        let d_hi = service_delay_secs(duration, bitrate, bandwidth, hi * size);
+        prop_assert!(d_hi <= d_lo + 1e-9);
+        let q_lo = stream_quality(duration, bitrate, bandwidth, lo * size);
+        let q_hi = stream_quality(duration, bitrate, bandwidth, hi * size);
+        prop_assert!(q_hi + 1e-12 >= q_lo);
+        prop_assert!((0.0..=1.0).contains(&q_lo) && (0.0..=1.0).contains(&q_hi));
+    }
+
+    /// The heap always pops utilities in non-decreasing order.
+    #[test]
+    fn heap_pops_sorted(utilities in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+        let mut heap = UtilityHeap::new();
+        for (i, &u) in utilities.iter().enumerate() {
+            heap.insert(ObjectKey::new(i as u64), u);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((_, u)) = heap.pop_min() {
+            prop_assert!(u >= prev);
+            prev = u;
+        }
+    }
+
+    /// Under arbitrary access patterns the engine never exceeds its
+    /// capacity, and its bookkeeping (sum of entries == used bytes) stays
+    /// consistent. Checked for a partial and an integral policy.
+    #[test]
+    fn engine_capacity_invariant(
+        accesses in proptest::collection::vec((0u64..30, 10.0f64..500.0, 1_000.0f64..100_000.0), 1..300),
+        capacity_mb in 1.0f64..200.0,
+    ) {
+        let capacity = capacity_mb * 1e6;
+        let mut pb = CacheEngine::new(capacity, PartialBandwidth::new()).unwrap();
+        let mut ib = CacheEngine::new(capacity, IntegralBandwidth::new()).unwrap();
+        let mut ifc = CacheEngine::new(capacity, IntegralFrequency::new()).unwrap();
+        for &(key, duration, bandwidth) in &accesses {
+            let o = meta(key, duration, 48_000.0, 1.0);
+            pb.on_access(&o, bandwidth);
+            ib.on_access(&o, bandwidth);
+            ifc.on_access(&o, bandwidth);
+            prop_assert!(pb.used_bytes() <= pb.capacity_bytes() + 1e-3);
+            let pb_total: f64 = pb.contents().iter().map(|(_, b)| b).sum();
+            prop_assert!((pb_total - pb.used_bytes()).abs() < 1e-3);
+            prop_assert!(ib.used_bytes() <= ib.capacity_bytes() + 1e-3);
+            let ib_total: f64 = ib.contents().iter().map(|(_, b)| b).sum();
+            prop_assert!((ib_total - ib.used_bytes()).abs() < 1e-3);
+        }
+        // Stats are consistent: cache + origin bytes == requested bytes.
+        for s in [*pb.stats(), *ib.stats(), *ifc.stats()] {
+            prop_assert!((s.bytes_from_cache + s.bytes_from_origin - s.bytes_requested).abs() < 1.0);
+            prop_assert!(s.traffic_reduction_ratio() >= 0.0 && s.traffic_reduction_ratio() <= 1.0);
+        }
+    }
+
+    /// PB never caches more than the object's own size and never caches
+    /// objects whose bandwidth is sufficient.
+    #[test]
+    fn pb_allocation_bounds(
+        accesses in proptest::collection::vec((0u64..20, 1_000.0f64..100_000.0), 1..200),
+    ) {
+        let mut cache = CacheEngine::new(1e12, PartialBandwidth::new()).unwrap();
+        for &(key, bandwidth) in &accesses {
+            // Object metadata is a fixed function of the key.
+            let duration = 10.0 + 25.0 * key as f64;
+            let o = meta(key, duration, 48_000.0, 1.0);
+            cache.on_access(&o, bandwidth);
+            let cached = cache.cached_bytes(o.key);
+            prop_assert!(cached <= o.size_bytes() + 1e-6);
+            if bandwidth >= 48_000.0 && cached == 0.0 {
+                // Objects first seen with sufficient bandwidth stay uncached
+                // (they may have been admitted earlier with a lower estimate).
+                prop_assert_eq!(cache.cached_bytes(o.key), 0.0);
+            }
+        }
+    }
+
+    /// The hybrid policy's allocation interpolates between PB (e = 1) and
+    /// whole-object caching (e = 0).
+    #[test]
+    fn hybrid_targets_bracketed(duration in 10.0f64..1_000.0, bandwidth in 1_000.0f64..47_000.0, e in 0.0f64..1.0) {
+        use sc_cache::policy::UtilityPolicy;
+        let o = meta(1, duration, 48_000.0, 1.0);
+        let pb = PartialBandwidth::new().target_bytes(&o, bandwidth);
+        let hybrid = HybridPartialBandwidth::new(e).target_bytes(&o, bandwidth);
+        prop_assert!(hybrid + 1e-9 >= pb);
+        prop_assert!(hybrid <= o.size_bytes() + 1e-6);
+    }
+
+    /// The offline optimal allocation respects capacity and is never worse
+    /// (in rate-weighted delay) than the "cache nothing" and the
+    /// "equal share" baselines.
+    #[test]
+    fn offline_optimal_dominates_baselines(
+        specs in proptest::collection::vec((10.0f64..500.0, 0.1f64..10.0, 1_000.0f64..100_000.0), 1..30),
+        capacity_mb in 0.0f64..500.0,
+    ) {
+        let objects: Vec<OfflineObject> = specs.iter().enumerate()
+            .map(|(i, &(duration, rate, bandwidth))| OfflineObject::new(
+                meta(i as u64, duration, 48_000.0, 1.0), rate, bandwidth))
+            .collect();
+        let capacity = capacity_mb * 1e6;
+        let alloc = optimal_partial_allocation(&objects, capacity).unwrap();
+        let total: f64 = alloc.iter().sum();
+        prop_assert!(total <= capacity + 1e-3);
+        for (a, o) in alloc.iter().zip(&objects) {
+            prop_assert!(*a <= o.meta.size_bytes() + 1e-6);
+        }
+        let optimal = average_service_delay(&objects, &alloc).unwrap();
+        let nothing = average_service_delay(&objects, &vec![0.0; objects.len()]).unwrap();
+        prop_assert!(optimal <= nothing + 1e-9);
+        let equal: Vec<f64> = objects.iter()
+            .map(|o| (capacity / objects.len() as f64)
+                 .min(prefix_bytes_needed(o.meta.duration_secs, o.meta.bitrate_bps, o.bandwidth_bps)))
+            .collect();
+        if equal.iter().sum::<f64>() <= capacity + 1e-3 {
+            let equal_delay = average_service_delay(&objects, &equal).unwrap();
+            prop_assert!(optimal <= equal_delay + 1e-6,
+                "optimal {optimal} vs equal {equal_delay}");
+        }
+    }
+
+    /// Greedy value selection fits in the capacity and never selects objects
+    /// with abundant bandwidth.
+    #[test]
+    fn greedy_value_selection_feasible(
+        specs in proptest::collection::vec((10.0f64..500.0, 0.1f64..10.0, 1_000.0f64..100_000.0, 1.0f64..10.0), 1..30),
+        capacity_mb in 0.0f64..500.0,
+    ) {
+        let objects: Vec<OfflineObject> = specs.iter().enumerate()
+            .map(|(i, &(duration, rate, bandwidth, value))| OfflineObject::new(
+                meta(i as u64, duration, 48_000.0, value), rate, bandwidth))
+            .collect();
+        let capacity = capacity_mb * 1e6;
+        let selected = greedy_value_selection(&objects, capacity).unwrap();
+        let used: f64 = objects.iter().zip(&selected).filter(|(_, &s)| s)
+            .map(|(o, _)| prefix_bytes_needed(o.meta.duration_secs, o.meta.bitrate_bps, o.bandwidth_bps))
+            .sum();
+        prop_assert!(used <= capacity + 1e-3);
+        for (o, &s) in objects.iter().zip(&selected) {
+            if o.meta.bitrate_bps <= o.bandwidth_bps {
+                prop_assert!(!s);
+            }
+        }
+        prop_assert!(total_value(&objects, &selected).unwrap() >= 0.0);
+    }
+
+    /// All paper policies process arbitrary access streams without panicking
+    /// or breaking capacity, through the boxed (dynamic) interface.
+    #[test]
+    fn all_policies_are_safe(
+        accesses in proptest::collection::vec((0u64..15, 10.0f64..300.0, 1_000.0f64..100_000.0), 1..100),
+    ) {
+        for kind in PolicyKind::all_paper_policies() {
+            let mut cache = CacheEngine::new(50e6, kind.build()).unwrap();
+            for &(key, duration, bandwidth) in &accesses {
+                let o = meta(key, duration, 48_000.0, 5.0);
+                cache.on_access(&o, bandwidth);
+                prop_assert!(cache.used_bytes() <= cache.capacity_bytes() + 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Piecewise-linear empirical distributions.
+//!
+//! The paper parameterises its simulations with *empirical* bandwidth
+//! distributions (derived from NLANR proxy logs and from live path
+//! measurements) rather than closed-form ones. [`EmpiricalDistribution`]
+//! represents such a distribution as a piecewise-linear CDF over a set of
+//! knot points and supports inverse-transform sampling, quantile queries and
+//! moment estimation.
+
+use crate::error::NetModelError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A continuous distribution described by a piecewise-linear CDF.
+///
+/// The CDF is given as a list of `(value, cumulative_probability)` knots.
+/// The first knot must have probability 0 and the last probability 1;
+/// both coordinates must be non-decreasing.
+///
+/// ```
+/// use sc_netmodel::EmpiricalDistribution;
+/// use rand::SeedableRng;
+///
+/// // A triangular-ish distribution between 0 and 100.
+/// let dist = EmpiricalDistribution::from_cdf(vec![
+///     (0.0, 0.0),
+///     (50.0, 0.8),
+///     (100.0, 1.0),
+/// ])?;
+/// assert!((dist.quantile(0.8) - 50.0).abs() < 1e-9);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = dist.sample(&mut rng);
+/// assert!((0.0..=100.0).contains(&x));
+/// # Ok::<(), sc_netmodel::NetModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalDistribution {
+    /// CDF knots as (value, cumulative probability), strictly validated.
+    knots: Vec<(f64, f64)>,
+}
+
+impl EmpiricalDistribution {
+    /// Builds a distribution from CDF knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetModelError::InvalidCdf`] if fewer than two knots are
+    /// given, if values or probabilities are not non-decreasing, if any
+    /// coordinate is not finite, or if the probabilities do not start at 0
+    /// and end at 1.
+    pub fn from_cdf(knots: Vec<(f64, f64)>) -> Result<Self, NetModelError> {
+        if knots.len() < 2 {
+            return Err(NetModelError::InvalidCdf(
+                "at least two knots are required".into(),
+            ));
+        }
+        for w in knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if !v0.is_finite() || !p0.is_finite() || !v1.is_finite() || !p1.is_finite() {
+                return Err(NetModelError::InvalidCdf("non-finite knot".into()));
+            }
+            if v1 < v0 {
+                return Err(NetModelError::InvalidCdf(
+                    "values must be non-decreasing".into(),
+                ));
+            }
+            if p1 < p0 {
+                return Err(NetModelError::InvalidCdf(
+                    "probabilities must be non-decreasing".into(),
+                ));
+            }
+        }
+        let first_p = knots.first().expect("len checked").1;
+        let last_p = knots.last().expect("len checked").1;
+        if first_p != 0.0 {
+            return Err(NetModelError::InvalidCdf(
+                "first knot probability must be 0".into(),
+            ));
+        }
+        if (last_p - 1.0).abs() > 1e-9 {
+            return Err(NetModelError::InvalidCdf(
+                "last knot probability must be 1".into(),
+            ));
+        }
+        Ok(EmpiricalDistribution { knots })
+    }
+
+    /// Builds the empirical distribution of observed `samples` (each sample
+    /// receives equal probability mass; the CDF interpolates between sorted
+    /// samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetModelError::InvalidCdf`] if `samples` is empty or any
+    /// sample is not finite.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, NetModelError> {
+        if samples.is_empty() {
+            return Err(NetModelError::InvalidCdf("no samples".into()));
+        }
+        if samples.iter().any(|s| !s.is_finite()) {
+            return Err(NetModelError::InvalidCdf("non-finite sample".into()));
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        if n == 1 {
+            // Degenerate: a point mass represented by a tiny ramp.
+            let v = sorted[0];
+            return EmpiricalDistribution::from_cdf(vec![(v, 0.0), (v, 1.0)]);
+        }
+        let mut knots = Vec::with_capacity(n);
+        for (i, v) in sorted.iter().enumerate() {
+            knots.push((*v, i as f64 / (n - 1) as f64));
+        }
+        EmpiricalDistribution::from_cdf(knots)
+    }
+
+    /// The CDF knots.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// Smallest representable value.
+    pub fn min(&self) -> f64 {
+        self.knots.first().expect("validated").0
+    }
+
+    /// Largest representable value.
+    pub fn max(&self) -> f64 {
+        self.knots.last().expect("validated").0
+    }
+
+    /// Cumulative probability `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.min() {
+            return if x < self.min() { 0.0 } else { self.knots[0].1 };
+        }
+        if x >= self.max() {
+            return 1.0;
+        }
+        // Find the segment containing x and interpolate.
+        for w in self.knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if x >= v0 && x <= v1 {
+                if v1 == v0 {
+                    return p1;
+                }
+                let t = (x - v0) / (v1 - v0);
+                return p0 + t * (p1 - p0);
+            }
+        }
+        1.0
+    }
+
+    /// Quantile (inverse CDF) for probability `p`, clamped to `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        for w in self.knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if p >= p0 && p <= p1 {
+                if p1 == p0 {
+                    return v1;
+                }
+                let t = (p - p0) / (p1 - p0);
+                return v0 + t * (v1 - v0);
+            }
+        }
+        self.max()
+    }
+
+    /// Draws one sample by inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen())
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Analytic mean of the piecewise-linear distribution.
+    ///
+    /// Each linear CDF segment contributes a uniform component over its
+    /// value range, weighted by the segment's probability mass.
+    pub fn mean(&self) -> f64 {
+        let mut m = 0.0;
+        for w in self.knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            m += (p1 - p0) * (v0 + v1) / 2.0;
+        }
+        m
+    }
+
+    /// Returns a copy of the distribution with all values multiplied by
+    /// `factor` (used, e.g., to convert units or to scale a base bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        EmpiricalDistribution {
+            knots: self.knots.iter().map(|&(v, p)| (v * factor, p)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple() -> EmpiricalDistribution {
+        EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (10.0, 0.5), (20.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_cdfs() {
+        assert!(EmpiricalDistribution::from_cdf(vec![(0.0, 0.0)]).is_err());
+        assert!(EmpiricalDistribution::from_cdf(vec![(0.0, 0.1), (1.0, 1.0)]).is_err());
+        assert!(EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (1.0, 0.9)]).is_err());
+        assert!(EmpiricalDistribution::from_cdf(vec![(1.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (1.0, f64::NAN)]).is_err());
+        assert!(
+            EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (1.0, 0.6), (2.0, 0.5), (3.0, 1.0)])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverses_on_knots() {
+        let d = simple();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.cdf(10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.cdf(20.0), 1.0);
+        assert_eq!(d.cdf(-5.0), 0.0);
+        assert_eq!(d.cdf(25.0), 1.0);
+        assert!((d.quantile(0.5) - 10.0).abs() < 1e-12);
+        assert!((d.quantile(0.25) - 5.0).abs() < 1e-12);
+        assert!((d.quantile(0.75) - 15.0).abs() < 1e-12);
+        assert_eq!(d.quantile(-0.5), 0.0);
+        assert_eq!(d.quantile(2.0), 20.0);
+    }
+
+    #[test]
+    fn mean_of_uniform_segments() {
+        let d = simple();
+        // 0.5 * mean(U(0,10)) + 0.5 * mean(U(10,20)) = 0.5*5 + 0.5*15 = 10.
+        assert!((d.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_in_support_and_mean_converges() {
+        let d = simple();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = d.sample_n(&mut rng, 20_000);
+        assert!(samples.iter().all(|&x| (0.0..=20.0).contains(&x)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn from_samples_interpolates() {
+        let d = EmpiricalDistribution::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(d.min(), 1.0);
+        assert_eq!(d.max(), 5.0);
+        assert!((d.quantile(0.5) - 3.0).abs() < 1e-12);
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_samples_rejects_bad_input() {
+        assert!(EmpiricalDistribution::from_samples(&[]).is_err());
+        assert!(EmpiricalDistribution::from_samples(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn single_sample_is_point_mass() {
+        let d = EmpiricalDistribution::from_samples(&[7.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(d.sample(&mut rng), 7.0);
+        assert_eq!(d.mean(), 7.0);
+    }
+
+    #[test]
+    fn scaling_scales_values_only() {
+        let d = simple().scaled(2.0);
+        assert_eq!(d.max(), 40.0);
+        assert!((d.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn negative_scale_panics() {
+        let _ = simple().scaled(-1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the bandwidth models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the bandwidth-model constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetModelError {
+    /// The supplied CDF knots do not describe a valid distribution.
+    InvalidCdf(String),
+    /// A model parameter was out of range (name, offending value).
+    InvalidParameter(&'static str, f64),
+}
+
+impl fmt::Display for NetModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetModelError::InvalidCdf(why) => write!(f, "invalid empirical cdf: {why}"),
+            NetModelError::InvalidParameter(name, v) => {
+                write!(f, "invalid value for parameter `{name}`: {v}")
+            }
+        }
+    }
+}
+
+impl Error for NetModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NetModelError::InvalidCdf("x".into())
+            .to_string()
+            .contains("invalid empirical cdf"));
+        assert!(NetModelError::InvalidParameter("rtt", -1.0)
+            .to_string()
+            .contains("rtt"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetModelError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! # sc-netmodel — Internet bandwidth models for streaming-media caching
+//!
+//! The caching algorithms of *Accelerating Internet Streaming Media Delivery
+//! using Network-Aware Partial Caching* (Jin, Bestavros, Iyengar; ICDCS 2002)
+//! are **network-aware**: they rank objects by how bandwidth-poor the path to
+//! the origin server is. This crate provides the bandwidth models the paper
+//! uses in its evaluation:
+//!
+//! * [`NlanrBandwidthModel`] — the base (per-path average) bandwidth
+//!   distribution, calibrated to the NLANR proxy-log statistics reported in
+//!   Figure 2 of the paper (37 % of paths below 50 KB/s, 56 % below
+//!   100 KB/s).
+//! * [`VariabilityModel`] — sample-to-mean ratio distributions: the
+//!   high-variability NLANR-log model of Figure 3 and the lower-variability
+//!   measured-path models of Figure 4.
+//! * [`BandwidthTimeSeries`] — mean-reverting bandwidth evolution processes
+//!   for Figure 4 style time-series plots.
+//! * [`PathModel`] / [`PathSet`] — the per-object cache↔origin paths used by
+//!   the simulator.
+//! * [`tcp_throughput_bps`] — the Padhye TCP throughput model, used to turn
+//!   probed loss/RTT into bandwidth estimates (Section 2.7).
+//! * [`BandwidthEstimator`] implementations — passive (EWMA, windowed) and
+//!   active (probe) estimation, plus the conservative under-estimation
+//!   wrapper of Section 2.5.
+//!
+//! ```
+//! use sc_netmodel::{NlanrBandwidthModel, PathSet, VariabilityModel};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // One path per origin server, averages drawn from the NLANR-like model,
+//! // per-request variation following the measured-path model.
+//! let paths = PathSet::generate(
+//!     1_000,
+//!     &NlanrBandwidthModel::paper_default(),
+//!     VariabilityModel::measured_path_moderate(),
+//!     &mut rng,
+//! );
+//! let bw = paths.bandwidth_sample(0, &mut rng);
+//! assert!(bw > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod empirical;
+mod error;
+mod estimator;
+mod hist;
+mod nlanr;
+mod paths;
+pub mod stats;
+mod tcp;
+mod timeseries;
+mod variability;
+
+pub use empirical::EmpiricalDistribution;
+pub use error::NetModelError;
+pub use estimator::{
+    BandwidthEstimator, ConservativeEstimator, EwmaEstimator, ProbeEstimator, WindowedEstimator,
+};
+pub use hist::Histogram;
+pub use nlanr::{NlanrBandwidthModel, BYTES_PER_KB};
+pub use paths::{PathId, PathModel, PathSet};
+pub use stats::Summary;
+pub use tcp::{tcp_throughput_bps, tcp_throughput_simplified_bps, TcpPathParams};
+pub use timeseries::{BandwidthTimeSeries, TimeSeriesConfig};
+pub use variability::VariabilityModel;

@@ -1,0 +1,255 @@
+//! Per-path bandwidth models combining a base bandwidth with variability.
+//!
+//! In the paper, every origin server (equivalently, every object, since the
+//! paper assumes one path per object) is reached over a path with an average
+//! bandwidth drawn from the NLANR-like distribution; instantaneous bandwidth
+//! for a given request is the average multiplied by a ratio drawn from a
+//! [`VariabilityModel`].
+
+use crate::nlanr::NlanrBandwidthModel;
+use crate::timeseries::{BandwidthTimeSeries, TimeSeriesConfig};
+use crate::variability::VariabilityModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a network path (one per origin server / object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// Dense index of this path.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The bandwidth model of a single cache↔origin path.
+///
+/// ```
+/// use sc_netmodel::{PathModel, VariabilityModel};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let path = PathModel::new(80_000.0, VariabilityModel::measured_path_low());
+/// let bw = path.bandwidth_sample(&mut rng);
+/// assert!(bw > 0.0);
+/// assert_eq!(path.mean_bps(), 80_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathModel {
+    mean_bps: f64,
+    variability: VariabilityModel,
+}
+
+impl PathModel {
+    /// Creates a path with long-run average `mean_bps` and the given
+    /// variability model.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions only) if `mean_bps` is not positive.
+    pub fn new(mean_bps: f64, variability: VariabilityModel) -> Self {
+        debug_assert!(mean_bps > 0.0, "mean bandwidth must be positive");
+        PathModel {
+            mean_bps,
+            variability,
+        }
+    }
+
+    /// Long-run average bandwidth of the path in bytes per second.
+    pub fn mean_bps(&self) -> f64 {
+        self.mean_bps
+    }
+
+    /// The variability model of the path.
+    pub fn variability(&self) -> &VariabilityModel {
+        &self.variability
+    }
+
+    /// Draws the instantaneous bandwidth observed by one request.
+    pub fn bandwidth_sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.variability.apply(rng, self.mean_bps)
+    }
+
+    /// Generates a bandwidth evolution time series for this path (Figure 4
+    /// style), with the marginal coefficient of variation taken from the
+    /// path's variability model.
+    pub fn time_series<R: Rng + ?Sized>(
+        &self,
+        samples: usize,
+        interval_secs: f64,
+        autocorrelation: f64,
+        rng: &mut R,
+    ) -> BandwidthTimeSeries {
+        let cfg = TimeSeriesConfig {
+            mean_bps: self.mean_bps,
+            cov: self.variability.coefficient_of_variation(),
+            autocorrelation,
+            interval_secs,
+        };
+        BandwidthTimeSeries::generate(&cfg, samples, rng)
+            .expect("path-derived time series config is always valid")
+    }
+}
+
+/// The set of paths between one cache and all origin servers, one path per
+/// object in the catalog.
+///
+/// ```
+/// use sc_netmodel::{NlanrBandwidthModel, PathSet, VariabilityModel};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let paths = PathSet::generate(
+///     100,
+///     &NlanrBandwidthModel::paper_default(),
+///     VariabilityModel::constant(),
+///     &mut rng,
+/// );
+/// assert_eq!(paths.len(), 100);
+/// assert!(paths.mean_bps(0) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSet {
+    paths: Vec<PathModel>,
+}
+
+impl PathSet {
+    /// Generates `n` paths whose average bandwidth is drawn from `base` and
+    /// which all share the variability model `variability`.
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        base: &NlanrBandwidthModel,
+        variability: VariabilityModel,
+        rng: &mut R,
+    ) -> Self {
+        let paths = (0..n)
+            .map(|_| {
+                let mean = base.sample_bps(rng).max(1.0);
+                PathModel::new(mean, variability.clone())
+            })
+            .collect();
+        PathSet { paths }
+    }
+
+    /// Builds a path set from explicit path models.
+    pub fn from_paths(paths: Vec<PathModel>) -> Self {
+        PathSet { paths }
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Returns `true` if the set contains no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The path for object/server index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn path(&self, i: usize) -> &PathModel {
+        &self.paths[i]
+    }
+
+    /// Long-run average bandwidth of path `i` in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn mean_bps(&self, i: usize) -> f64 {
+        self.paths[i].mean_bps()
+    }
+
+    /// Draws the instantaneous bandwidth seen by a request to object `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bandwidth_sample<R: Rng + ?Sized>(&self, i: usize, rng: &mut R) -> f64 {
+        self.paths[i].bandwidth_sample(rng)
+    }
+
+    /// Iterates over all paths.
+    pub fn iter(&self) -> std::slice::Iter<'_, PathModel> {
+        self.paths.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PathSet {
+    type Item = &'a PathModel;
+    type IntoIter = std::slice::Iter<'a, PathModel>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_sample_respects_constant_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = PathModel::new(50_000.0, VariabilityModel::constant());
+        for _ in 0..10 {
+            assert!((p.bandwidth_sample(&mut rng) - 50_000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_set_generation_spans_heterogeneous_bandwidth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let set = PathSet::generate(
+            2_000,
+            &NlanrBandwidthModel::paper_default(),
+            VariabilityModel::constant(),
+            &mut rng,
+        );
+        assert_eq!(set.len(), 2_000);
+        let slow = set.iter().filter(|p| p.mean_bps() < 50_000.0).count() as f64 / 2_000.0;
+        assert!((slow - 0.37).abs() < 0.05, "slow fraction {slow}");
+        let fast = set.iter().filter(|p| p.mean_bps() > 200_000.0).count();
+        assert!(fast > 0);
+    }
+
+    #[test]
+    fn variable_paths_average_to_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PathModel::new(100_000.0, VariabilityModel::nlanr_like());
+        let n = 20_000;
+        let mean = (0..n).map(|_| p.bandwidth_sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100_000.0).abs() / 100_000.0 < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn time_series_from_path() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = PathModel::new(120_000.0, VariabilityModel::measured_path_moderate());
+        let ts = p.time_series(600, 240.0, 0.8, &mut rng);
+        assert_eq!(ts.len(), 600);
+        assert!((ts.duration_hours() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_set_accessors() {
+        let set = PathSet::from_paths(vec![
+            PathModel::new(10.0, VariabilityModel::constant()),
+            PathModel::new(20.0, VariabilityModel::constant()),
+        ]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.mean_bps(1), 20.0);
+        assert_eq!(set.path(0).mean_bps(), 10.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(set.bandwidth_sample(0, &mut rng), 10.0);
+        assert_eq!(PathId(3).index(), 3);
+    }
+}

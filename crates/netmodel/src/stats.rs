@@ -1,0 +1,104 @@
+//! Small statistics helpers shared by the bandwidth models.
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`), 0 when the mean is 0.
+    pub cov: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `samples`.
+    ///
+    /// Returns `None` when `samples` is empty.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let variance = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let std_dev = variance.sqrt();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            count: samples.len(),
+            mean,
+            variance,
+            std_dev,
+            cov: if mean != 0.0 { std_dev / mean } else { 0.0 },
+            min,
+            max,
+        })
+    }
+}
+
+/// Arithmetic mean of `samples`; 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Coefficient of variation of `samples`; 0 for an empty slice or zero mean.
+pub fn coefficient_of_variation(samples: &[f64]) -> f64 {
+    Summary::of(samples).map(|s| s.cov).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_yields_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+    }
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.cov, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert!((s.std_dev - 1.25f64.sqrt()).abs() < 1e-12);
+        assert!((s.cov - 1.25f64.sqrt() / 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn zero_mean_cov_is_zero() {
+        let s = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert_eq!(s.cov, 0.0);
+    }
+}

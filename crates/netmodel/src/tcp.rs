@@ -1,0 +1,192 @@
+//! TCP-friendly throughput model (Padhye et al., SIGCOMM 1998).
+//!
+//! Section 2.7 of the paper notes that for TCP-friendly streaming
+//! transports, the available bandwidth from a server is close to TCP
+//! throughput, which is inversely proportional to the round-trip time and to
+//! the square root of the packet loss rate. This module implements the
+//! well-known Padhye model so that active bandwidth measurement (probing for
+//! loss and RTT) can be simulated.
+
+use crate::error::NetModelError;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a TCP connection for the Padhye throughput formula.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpPathParams {
+    /// Maximum segment size in bytes.
+    pub mss_bytes: f64,
+    /// Round-trip time in seconds.
+    pub rtt_secs: f64,
+    /// Steady-state packet loss probability in `(0, 1]`.
+    pub loss_rate: f64,
+    /// Retransmission timeout in seconds (commonly approximated as 4×RTT).
+    pub rto_secs: f64,
+    /// Number of packets acknowledged per ACK (delayed ACKs ⇒ 2).
+    pub acked_per_ack: f64,
+    /// Maximum congestion window in packets (receiver window limit).
+    pub max_window_pkts: f64,
+}
+
+impl TcpPathParams {
+    /// Typical wide-area defaults: 1460-byte MSS, delayed ACKs, RTO = 4·RTT
+    /// and a 64 KB receiver window.
+    pub fn wan(rtt_secs: f64, loss_rate: f64) -> Self {
+        TcpPathParams {
+            mss_bytes: 1460.0,
+            rtt_secs,
+            loss_rate,
+            rto_secs: 4.0 * rtt_secs,
+            acked_per_ack: 2.0,
+            max_window_pkts: 64_000.0 / 1460.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetModelError::InvalidParameter`] for non-positive MSS,
+    /// RTT, RTO or window, or a loss rate outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), NetModelError> {
+        if !self.mss_bytes.is_finite() || self.mss_bytes <= 0.0 {
+            return Err(NetModelError::InvalidParameter("mss_bytes", self.mss_bytes));
+        }
+        if !self.rtt_secs.is_finite() || self.rtt_secs <= 0.0 {
+            return Err(NetModelError::InvalidParameter("rtt_secs", self.rtt_secs));
+        }
+        if !self.loss_rate.is_finite() || self.loss_rate <= 0.0 || self.loss_rate > 1.0 {
+            return Err(NetModelError::InvalidParameter("loss_rate", self.loss_rate));
+        }
+        if !self.rto_secs.is_finite() || self.rto_secs <= 0.0 {
+            return Err(NetModelError::InvalidParameter("rto_secs", self.rto_secs));
+        }
+        if !self.acked_per_ack.is_finite() || self.acked_per_ack <= 0.0 {
+            return Err(NetModelError::InvalidParameter(
+                "acked_per_ack",
+                self.acked_per_ack,
+            ));
+        }
+        if !self.max_window_pkts.is_finite() || self.max_window_pkts <= 0.0 {
+            return Err(NetModelError::InvalidParameter(
+                "max_window_pkts",
+                self.max_window_pkts,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Steady-state TCP throughput in **bytes per second** according to the full
+/// Padhye/Firoiu/Towsley/Kurose model, including the timeout term and the
+/// receiver-window cap.
+///
+/// # Errors
+///
+/// Returns [`NetModelError::InvalidParameter`] if the parameters fail
+/// validation.
+///
+/// ```
+/// use sc_netmodel::{tcp_throughput_bps, TcpPathParams};
+///
+/// // 80 ms RTT, 1% loss: throughput is on the order of 100-200 KB/s.
+/// let bw = tcp_throughput_bps(&TcpPathParams::wan(0.08, 0.01))?;
+/// assert!(bw > 50_000.0 && bw < 400_000.0);
+///
+/// // Quadrupling the loss rate roughly halves throughput.
+/// let bw4 = tcp_throughput_bps(&TcpPathParams::wan(0.08, 0.04))?;
+/// assert!(bw4 < bw);
+/// # Ok::<(), sc_netmodel::NetModelError>(())
+/// ```
+pub fn tcp_throughput_bps(params: &TcpPathParams) -> Result<f64, NetModelError> {
+    params.validate()?;
+    let p = params.loss_rate;
+    let b = params.acked_per_ack;
+    let rtt = params.rtt_secs;
+    let rto = params.rto_secs;
+    let wmax = params.max_window_pkts;
+
+    // Padhye et al. (1998), equation (30): packets per second.
+    let sqrt_term = (2.0 * b * p / 3.0).sqrt();
+    let timeout_term = rto * (3.0 * (3.0 * b * p / 8.0).sqrt()).min(1.0) * p * (1.0 + 32.0 * p * p);
+    let congestion_limited = 1.0 / (rtt * sqrt_term + timeout_term);
+    let window_limited = wmax / rtt;
+    Ok(congestion_limited.min(window_limited) * params.mss_bytes)
+}
+
+/// Simplified "inverse square-root" throughput estimate
+/// `MSS / (RTT · sqrt(2·b·p/3))`, the form quoted in Section 2.7 of the
+/// paper. Useful as a cheap estimator when probing only measures loss and
+/// RTT.
+///
+/// # Errors
+///
+/// Returns [`NetModelError::InvalidParameter`] if the parameters fail
+/// validation.
+pub fn tcp_throughput_simplified_bps(params: &TcpPathParams) -> Result<f64, NetModelError> {
+    params.validate()?;
+    let denom = params.rtt_secs * (2.0 * params.acked_per_ack * params.loss_rate / 3.0).sqrt();
+    Ok((params.mss_bytes / denom).min(params.max_window_pkts * params.mss_bytes / params.rtt_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut p = TcpPathParams::wan(0.1, 0.01);
+        p.loss_rate = 0.0;
+        assert!(tcp_throughput_bps(&p).is_err());
+        let mut p = TcpPathParams::wan(0.1, 0.01);
+        p.loss_rate = 1.5;
+        assert!(tcp_throughput_bps(&p).is_err());
+        let mut p = TcpPathParams::wan(0.1, 0.01);
+        p.rtt_secs = 0.0;
+        assert!(tcp_throughput_bps(&p).is_err());
+        let mut p = TcpPathParams::wan(0.1, 0.01);
+        p.mss_bytes = -1.0;
+        assert!(tcp_throughput_bps(&p).is_err());
+    }
+
+    #[test]
+    fn throughput_decreases_with_loss() {
+        let low = tcp_throughput_bps(&TcpPathParams::wan(0.08, 0.005)).unwrap();
+        let mid = tcp_throughput_bps(&TcpPathParams::wan(0.08, 0.02)).unwrap();
+        let high = tcp_throughput_bps(&TcpPathParams::wan(0.08, 0.08)).unwrap();
+        assert!(low > mid && mid > high);
+    }
+
+    #[test]
+    fn throughput_decreases_with_rtt() {
+        let near = tcp_throughput_bps(&TcpPathParams::wan(0.02, 0.01)).unwrap();
+        let far = tcp_throughput_bps(&TcpPathParams::wan(0.3, 0.01)).unwrap();
+        assert!(near > far);
+    }
+
+    #[test]
+    fn inverse_sqrt_scaling_of_simplified_model() {
+        let p1 = tcp_throughput_simplified_bps(&TcpPathParams::wan(0.1, 0.01)).unwrap();
+        let p4 = tcp_throughput_simplified_bps(&TcpPathParams::wan(0.1, 0.04)).unwrap();
+        // Quadrupling loss halves the simplified estimate (when not window
+        // limited).
+        assert!((p1 / p4 - 2.0).abs() < 0.05, "ratio {}", p1 / p4);
+    }
+
+    #[test]
+    fn window_limit_caps_throughput() {
+        // Minuscule loss at small RTT: the receiver window becomes the cap.
+        let params = TcpPathParams::wan(0.05, 1e-6);
+        let bw = tcp_throughput_bps(&params).unwrap();
+        let cap = params.max_window_pkts * params.mss_bytes / params.rtt_secs;
+        assert!((bw - cap).abs() / cap < 1e-9);
+    }
+
+    #[test]
+    fn full_model_is_below_simplified_model() {
+        // The timeout term only reduces throughput.
+        let params = TcpPathParams::wan(0.1, 0.03);
+        let full = tcp_throughput_bps(&params).unwrap();
+        let simplified = tcp_throughput_simplified_bps(&params).unwrap();
+        assert!(full <= simplified + 1e-9);
+    }
+}

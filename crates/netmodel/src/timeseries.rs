@@ -1,0 +1,297 @@
+//! Bandwidth time-series generation (Figure 4 style evolution plots).
+//!
+//! The paper measures real Internet paths by repeatedly downloading large
+//! files every four minutes over 30–45 hours and plotting the observed
+//! bandwidth as a time series. To reproduce those plots without the original
+//! vantage points, this module generates mean-reverting (AR(1)-style)
+//! bandwidth processes whose marginal variability matches a target
+//! [`VariabilityModel`]-like coefficient of variation.
+
+use crate::error::NetModelError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an AR(1) mean-reverting bandwidth process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeriesConfig {
+    /// Long-run mean bandwidth in bytes per second.
+    pub mean_bps: f64,
+    /// Target coefficient of variation of the marginal distribution.
+    pub cov: f64,
+    /// Autocorrelation of consecutive samples, in `[0, 1)`. Higher values
+    /// produce smoother series (the INRIA path is smoother than Hong Kong).
+    pub autocorrelation: f64,
+    /// Sampling interval in seconds (the paper samples every 4 minutes).
+    pub interval_secs: f64,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        TimeSeriesConfig {
+            mean_bps: 100_000.0,
+            cov: 0.2,
+            autocorrelation: 0.8,
+            interval_secs: 240.0,
+        }
+    }
+}
+
+impl TimeSeriesConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetModelError::InvalidParameter`] for non-positive mean or
+    /// interval, negative CoV, or autocorrelation outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), NetModelError> {
+        if !self.mean_bps.is_finite() || self.mean_bps <= 0.0 {
+            return Err(NetModelError::InvalidParameter("mean_bps", self.mean_bps));
+        }
+        if !self.cov.is_finite() || self.cov < 0.0 {
+            return Err(NetModelError::InvalidParameter("cov", self.cov));
+        }
+        if !self.autocorrelation.is_finite()
+            || !(0.0..1.0).contains(&self.autocorrelation)
+        {
+            return Err(NetModelError::InvalidParameter(
+                "autocorrelation",
+                self.autocorrelation,
+            ));
+        }
+        if !self.interval_secs.is_finite() || self.interval_secs <= 0.0 {
+            return Err(NetModelError::InvalidParameter(
+                "interval_secs",
+                self.interval_secs,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A generated bandwidth time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTimeSeries {
+    interval_secs: f64,
+    samples_bps: Vec<f64>,
+}
+
+impl BandwidthTimeSeries {
+    /// Generates `n` samples of a mean-reverting bandwidth process.
+    ///
+    /// The process is an AR(1) in the bandwidth domain,
+    /// `x_{t+1} = mean + rho (x_t - mean) + eps`, with innovations scaled so
+    /// the marginal standard deviation equals `cov * mean`; samples are
+    /// clamped at a small positive floor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn generate<R: Rng + ?Sized>(
+        config: &TimeSeriesConfig,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Self, NetModelError> {
+        config.validate()?;
+        let rho = config.autocorrelation;
+        let sigma_marginal = config.cov * config.mean_bps;
+        let sigma_innov = sigma_marginal * (1.0 - rho * rho).sqrt();
+        let floor = config.mean_bps * 1e-3;
+        let mut samples = Vec::with_capacity(n);
+        let mut x = config.mean_bps;
+        for _ in 0..n {
+            let eps = sigma_innov * standard_normal(rng);
+            x = config.mean_bps + rho * (x - config.mean_bps) + eps;
+            samples.push(x.max(floor));
+        }
+        Ok(BandwidthTimeSeries {
+            interval_secs: config.interval_secs,
+            samples_bps: samples,
+        })
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval_secs(&self) -> f64 {
+        self.interval_secs
+    }
+
+    /// The bandwidth samples in bytes per second.
+    pub fn samples_bps(&self) -> &[f64] {
+        &self.samples_bps
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_bps.len()
+    }
+
+    /// Returns `true` when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples_bps.is_empty()
+    }
+
+    /// Total covered duration in hours.
+    pub fn duration_hours(&self) -> f64 {
+        self.samples_bps.len() as f64 * self.interval_secs / 3600.0
+    }
+
+    /// Bandwidth at an arbitrary time (piecewise-constant interpolation,
+    /// clamped to the series range). Times before zero map to the first
+    /// sample and times past the end map to the last sample.
+    pub fn bandwidth_at(&self, time_secs: f64) -> f64 {
+        if self.samples_bps.is_empty() {
+            return 0.0;
+        }
+        let idx = if time_secs <= 0.0 {
+            0
+        } else {
+            ((time_secs / self.interval_secs) as usize).min(self.samples_bps.len() - 1)
+        };
+        self.samples_bps[idx]
+    }
+
+    /// Mean of the samples.
+    pub fn mean_bps(&self) -> f64 {
+        crate::stats::mean(&self.samples_bps)
+    }
+
+    /// Sample-to-mean ratios (the quantity histogrammed in Figure 4).
+    pub fn sample_to_mean_ratios(&self) -> Vec<f64> {
+        let mean = self.mean_bps();
+        if mean <= 0.0 {
+            return vec![0.0; self.samples_bps.len()];
+        }
+        self.samples_bps.iter().map(|s| s / mean).collect()
+    }
+}
+
+/// Box–Muller standard normal (kept private to avoid a dependency on
+/// `rand_distr`).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = loop {
+        let v: f64 = rng.gen();
+        if v > f64::MIN_POSITIVE {
+            break v;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let bad = [
+            TimeSeriesConfig {
+                mean_bps: 0.0,
+                ..Default::default()
+            },
+            TimeSeriesConfig {
+                cov: -0.1,
+                ..Default::default()
+            },
+            TimeSeriesConfig {
+                autocorrelation: 1.0,
+                ..Default::default()
+            },
+            TimeSeriesConfig {
+                interval_secs: 0.0,
+                ..Default::default()
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        for cfg in bad {
+            assert!(BandwidthTimeSeries::generate(&cfg, 10, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn generated_series_matches_target_moments() {
+        let cfg = TimeSeriesConfig {
+            mean_bps: 100_000.0,
+            cov: 0.3,
+            autocorrelation: 0.7,
+            interval_secs: 240.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let ts = BandwidthTimeSeries::generate(&cfg, 20_000, &mut rng).unwrap();
+        let s = Summary::of(ts.samples_bps()).unwrap();
+        assert!((s.mean - 100_000.0).abs() / 100_000.0 < 0.05, "mean {}", s.mean);
+        assert!((s.cov - 0.3).abs() < 0.05, "cov {}", s.cov);
+        assert!(ts.samples_bps().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn duration_and_lookup() {
+        let cfg = TimeSeriesConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ts = BandwidthTimeSeries::generate(&cfg, 15, &mut rng).unwrap();
+        assert_eq!(ts.len(), 15);
+        assert!(!ts.is_empty());
+        assert!((ts.duration_hours() - 1.0).abs() < 1e-9);
+        assert_eq!(ts.bandwidth_at(-5.0), ts.samples_bps()[0]);
+        assert_eq!(ts.bandwidth_at(0.0), ts.samples_bps()[0]);
+        assert_eq!(ts.bandwidth_at(241.0), ts.samples_bps()[1]);
+        assert_eq!(ts.bandwidth_at(1e9), *ts.samples_bps().last().unwrap());
+    }
+
+    #[test]
+    fn ratios_have_unit_mean() {
+        let cfg = TimeSeriesConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ts = BandwidthTimeSeries::generate(&cfg, 1_000, &mut rng).unwrap();
+        let ratios = ts.sample_to_mean_ratios();
+        let mean = crate::stats::mean(&ratios);
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cov_is_constant_series() {
+        let cfg = TimeSeriesConfig {
+            cov: 0.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let ts = BandwidthTimeSeries::generate(&cfg, 50, &mut rng).unwrap();
+        assert!(ts
+            .samples_bps()
+            .iter()
+            .all(|&x| (x - cfg.mean_bps).abs() < 1e-6));
+    }
+
+    #[test]
+    fn higher_autocorrelation_is_smoother() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let smooth = BandwidthTimeSeries::generate(
+            &TimeSeriesConfig {
+                autocorrelation: 0.95,
+                ..Default::default()
+            },
+            5_000,
+            &mut rng,
+        )
+        .unwrap();
+        let rough = BandwidthTimeSeries::generate(
+            &TimeSeriesConfig {
+                autocorrelation: 0.1,
+                ..Default::default()
+            },
+            5_000,
+            &mut rng,
+        )
+        .unwrap();
+        let mean_abs_step = |ts: &BandwidthTimeSeries| {
+            ts.samples_bps()
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .sum::<f64>()
+                / (ts.len() - 1) as f64
+        };
+        assert!(mean_abs_step(&smooth) < mean_abs_step(&rough));
+    }
+}

@@ -1,0 +1,291 @@
+//! Bandwidth variability models (sample-to-mean ratio distributions).
+//!
+//! The paper models bandwidth variability by the distribution of the ratio
+//! of an individual bandwidth sample to the per-path mean:
+//!
+//! * Figure 3 (NLANR logs): high variability — roughly 70 % of samples fall
+//!   within 0.5–1.5× the mean, with a heavy tail beyond 2×.
+//! * Figure 4 (live measurements from Boston University to INRIA, Taiwan
+//!   and Hong Kong): much lower variability, with path-dependent magnitude.
+//!
+//! A [`VariabilityModel`] is a distribution over that ratio, normalised so
+//! its mean is 1, so multiplying a base bandwidth by a drawn ratio leaves
+//! the long-run average unchanged.
+
+use crate::empirical::EmpiricalDistribution;
+use crate::error::NetModelError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of the bandwidth sample-to-mean ratio.
+///
+/// ```
+/// use sc_netmodel::VariabilityModel;
+/// use rand::SeedableRng;
+///
+/// let high = VariabilityModel::nlanr_like();
+/// let low = VariabilityModel::measured_path_low();
+/// assert!(high.coefficient_of_variation() > low.coefficient_of_variation());
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ratio = high.sample_ratio(&mut rng);
+/// assert!(ratio >= 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityModel {
+    name: String,
+    distribution: EmpiricalDistribution,
+}
+
+impl VariabilityModel {
+    /// A degenerate model with no variability: the ratio is always exactly 1
+    /// (the paper's "constant bandwidth assumption", Figures 5, 6, 10).
+    pub fn constant() -> Self {
+        VariabilityModel {
+            name: "constant".into(),
+            distribution: EmpiricalDistribution::from_cdf(vec![(1.0, 0.0), (1.0, 1.0)])
+                .expect("constant model knots are valid"),
+        }
+    }
+
+    /// High-variability model calibrated to the NLANR-log ratios of
+    /// Figure 3: about 70 % of mass in [0.5, 1.5], a non-trivial fraction of
+    /// near-zero samples, and a tail reaching 3× the mean.
+    pub fn nlanr_like() -> Self {
+        let knots = vec![
+            (0.05, 0.0),
+            (0.2, 0.06),
+            (0.35, 0.14),
+            (0.5, 0.22),
+            (0.7, 0.39),
+            (0.9, 0.58),
+            (1.1, 0.72),
+            (1.3, 0.82),
+            (1.5, 0.885),
+            (1.8, 0.932),
+            (2.1, 0.96),
+            (2.5, 0.98),
+            (3.0, 1.0),
+        ];
+        Self::from_knots("nlanr-like", knots)
+    }
+
+    /// Low-variability model (INRIA-like path from Figure 4): bandwidth
+    /// stays within roughly ±20 % of the mean almost all of the time.
+    pub fn measured_path_low() -> Self {
+        let knots = vec![
+            (0.75, 0.0),
+            (0.85, 0.05),
+            (0.92, 0.2),
+            (0.97, 0.42),
+            (1.0, 0.55),
+            (1.03, 0.68),
+            (1.08, 0.85),
+            (1.15, 0.95),
+            (1.25, 1.0),
+        ];
+        Self::from_knots("measured-low", knots)
+    }
+
+    /// Moderate-variability model (Taiwan-like path from Figure 4).
+    pub fn measured_path_moderate() -> Self {
+        let knots = vec![
+            (0.4, 0.0),
+            (0.6, 0.08),
+            (0.75, 0.2),
+            (0.9, 0.4),
+            (1.0, 0.55),
+            (1.1, 0.7),
+            (1.25, 0.85),
+            (1.45, 0.95),
+            (1.7, 1.0),
+        ];
+        Self::from_knots("measured-moderate", knots)
+    }
+
+    /// Higher-variability measured path (Hong-Kong-like path from Figure 4);
+    /// still substantially less bursty than [`nlanr_like`](Self::nlanr_like).
+    pub fn measured_path_high() -> Self {
+        let knots = vec![
+            (0.3, 0.0),
+            (0.5, 0.08),
+            (0.65, 0.2),
+            (0.8, 0.35),
+            (0.95, 0.52),
+            (1.1, 0.68),
+            (1.3, 0.83),
+            (1.55, 0.93),
+            (1.85, 0.98),
+            (2.1, 1.0),
+        ];
+        Self::from_knots("measured-high", knots)
+    }
+
+    /// Builds a model from explicit ratio CDF knots and normalises it so
+    /// the mean ratio is exactly 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetModelError`] if the knots are not a valid CDF or the
+    /// implied mean is not strictly positive.
+    pub fn from_ratio_cdf(
+        name: impl Into<String>,
+        knots: Vec<(f64, f64)>,
+    ) -> Result<Self, NetModelError> {
+        let dist = EmpiricalDistribution::from_cdf(knots)?;
+        let mean = dist.mean();
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(NetModelError::InvalidParameter("mean ratio", mean));
+        }
+        Ok(VariabilityModel {
+            name: name.into(),
+            distribution: dist.scaled(1.0 / mean),
+        })
+    }
+
+    fn from_knots(name: &str, knots: Vec<(f64, f64)>) -> Self {
+        Self::from_ratio_cdf(name, knots).expect("built-in variability knots are valid")
+    }
+
+    /// Human-readable model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The normalised ratio distribution.
+    pub fn distribution(&self) -> &EmpiricalDistribution {
+        &self.distribution
+    }
+
+    /// Draws a sample-to-mean ratio (mean ≈ 1).
+    pub fn sample_ratio<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.distribution.sample(rng)
+    }
+
+    /// Applies the model to a base bandwidth: returns an instantaneous
+    /// bandwidth sample in the same unit as `base_bps`.
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, base_bps: f64) -> f64 {
+        (base_bps * self.sample_ratio(rng)).max(0.0)
+    }
+
+    /// Coefficient of variation of the ratio distribution, estimated
+    /// analytically from the piecewise-linear segments.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        // E[X] = 1 by construction; compute E[X^2] per uniform segment:
+        // E[U(a,b)^2] = (a^2 + ab + b^2) / 3.
+        let mut ex2 = 0.0;
+        for w in self.distribution.knots().windows(2) {
+            let (a, p0) = w[0];
+            let (b, p1) = w[1];
+            ex2 += (p1 - p0) * (a * a + a * b + b * b) / 3.0;
+        }
+        let mean = self.distribution.mean();
+        let var = (ex2 - mean * mean).max(0.0);
+        if mean > 0.0 {
+            var.sqrt() / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_presets_have_unit_mean() {
+        for m in [
+            VariabilityModel::constant(),
+            VariabilityModel::nlanr_like(),
+            VariabilityModel::measured_path_low(),
+            VariabilityModel::measured_path_moderate(),
+            VariabilityModel::measured_path_high(),
+        ] {
+            assert!(
+                (m.distribution().mean() - 1.0).abs() < 1e-9,
+                "{} mean {}",
+                m.name(),
+                m.distribution().mean()
+            );
+        }
+    }
+
+    #[test]
+    fn cov_ordering_matches_paper() {
+        let constant = VariabilityModel::constant();
+        let nlanr = VariabilityModel::nlanr_like();
+        let low = VariabilityModel::measured_path_low();
+        let moderate = VariabilityModel::measured_path_moderate();
+        let high = VariabilityModel::measured_path_high();
+        assert_eq!(constant.coefficient_of_variation(), 0.0);
+        assert!(low.coefficient_of_variation() < moderate.coefficient_of_variation());
+        assert!(moderate.coefficient_of_variation() <= high.coefficient_of_variation());
+        // Key paper observation: all measured paths have much lower
+        // variability than the NLANR-log-derived model.
+        assert!(high.coefficient_of_variation() < nlanr.coefficient_of_variation());
+        assert!(nlanr.coefficient_of_variation() > 0.4);
+        assert!(low.coefficient_of_variation() < 0.15);
+    }
+
+    #[test]
+    fn nlanr_like_mass_in_half_to_one_and_a_half() {
+        let m = VariabilityModel::nlanr_like();
+        let mass = m.distribution().cdf(1.5) - m.distribution().cdf(0.5);
+        // Paper: "in about 70% of the cases, the sample bandwidth is 0.5–1.5
+        // times of the mean".
+        assert!((0.6..0.8).contains(&mass), "mass in [0.5,1.5]: {mass}");
+    }
+
+    #[test]
+    fn constant_model_always_returns_base() {
+        let m = VariabilityModel::constant();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!((m.apply(&mut rng, 1234.0) - 1234.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_cov_matches_analytic() {
+        let m = VariabilityModel::nlanr_like();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..50_000).map(|_| m.sample_ratio(&mut rng)).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert!((s.mean - 1.0).abs() < 0.01, "mean {}", s.mean);
+        assert!(
+            (s.cov - m.coefficient_of_variation()).abs() < 0.03,
+            "cov {} vs analytic {}",
+            s.cov,
+            m.coefficient_of_variation()
+        );
+    }
+
+    #[test]
+    fn apply_never_negative() {
+        let m = VariabilityModel::nlanr_like();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1_000 {
+            assert!(m.apply(&mut rng, 50_000.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn from_ratio_cdf_normalises_mean() {
+        let m =
+            VariabilityModel::from_ratio_cdf("custom", vec![(0.0, 0.0), (4.0, 1.0)]).unwrap();
+        assert!((m.distribution().mean() - 1.0).abs() < 1e-9);
+        assert_eq!(m.name(), "custom");
+    }
+
+    #[test]
+    fn invalid_ratio_cdf_is_rejected() {
+        assert!(VariabilityModel::from_ratio_cdf("bad", vec![(0.0, 0.0)]).is_err());
+        assert!(
+            VariabilityModel::from_ratio_cdf("zero-mean", vec![(0.0, 0.0), (0.0, 1.0)]).is_err()
+        );
+    }
+}

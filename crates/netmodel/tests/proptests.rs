@@ -1,0 +1,118 @@
+//! Property-based tests for the bandwidth models.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_netmodel::{
+    BandwidthEstimator, BandwidthTimeSeries, ConservativeEstimator, EmpiricalDistribution,
+    EwmaEstimator, Histogram, NlanrBandwidthModel, PathSet, TcpPathParams, TimeSeriesConfig,
+    VariabilityModel, WindowedEstimator, tcp_throughput_bps,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The empirical CDF and quantile functions are inverse to each other
+    /// inside the support.
+    #[test]
+    fn empirical_cdf_quantile_roundtrip(p in 0.0f64..1.0) {
+        let d = EmpiricalDistribution::from_cdf(vec![
+            (0.0, 0.0), (5.0, 0.3), (20.0, 0.9), (40.0, 1.0),
+        ]).unwrap();
+        let x = d.quantile(p);
+        let q = d.cdf(x);
+        prop_assert!((q - p).abs() < 1e-9, "p={p} x={x} q={q}");
+    }
+
+    /// Empirical samples always stay inside the distribution's support.
+    #[test]
+    fn empirical_samples_in_support(seed in any::<u64>()) {
+        let d = EmpiricalDistribution::from_cdf(vec![(10.0, 0.0), (90.0, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!((10.0..=90.0).contains(&x));
+        }
+    }
+
+    /// NLANR model samples are positive and bounded by the distribution max.
+    #[test]
+    fn nlanr_samples_positive(seed in any::<u64>()) {
+        let m = NlanrBandwidthModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let bw = m.sample_bps(&mut rng);
+            prop_assert!(bw > 0.0);
+            prop_assert!(bw <= 800_000.0 + 1e-6);
+        }
+    }
+
+    /// Variability ratios are non-negative and path samples scale with the
+    /// base bandwidth.
+    #[test]
+    fn variability_apply_scales(base in 1_000.0f64..1_000_000.0, seed in any::<u64>()) {
+        let m = VariabilityModel::nlanr_like();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bw = m.apply(&mut rng, base);
+        prop_assert!(bw >= 0.0);
+        prop_assert!(bw <= base * 3.5);
+    }
+
+    /// Histograms conserve the number of samples.
+    #[test]
+    fn histogram_conserves_mass(samples in proptest::collection::vec(-10.0f64..500.0, 1..200)) {
+        let h = Histogram::from_samples(4.0, 100, &samples);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.overflow() + h.underflow(), samples.len() as u64);
+        prop_assert_eq!(h.total(), samples.len() as u64);
+    }
+
+    /// TCP throughput is monotonically non-increasing in loss rate.
+    #[test]
+    fn tcp_monotone_in_loss(rtt in 0.01f64..0.5, loss in 0.0005f64..0.2) {
+        let lo = tcp_throughput_bps(&TcpPathParams::wan(rtt, loss)).unwrap();
+        let hi = tcp_throughput_bps(&TcpPathParams::wan(rtt, (loss * 2.0).min(1.0))).unwrap();
+        prop_assert!(hi <= lo + 1e-6);
+    }
+
+    /// Time series stay positive and have roughly the requested mean.
+    #[test]
+    fn timeseries_positive(mean in 10_000.0f64..500_000.0, cov in 0.0f64..0.6, seed in any::<u64>()) {
+        let cfg = TimeSeriesConfig { mean_bps: mean, cov, autocorrelation: 0.5, interval_secs: 60.0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ts = BandwidthTimeSeries::generate(&cfg, 256, &mut rng).unwrap();
+        prop_assert!(ts.samples_bps().iter().all(|&x| x > 0.0));
+    }
+
+    /// Estimators never return a negative estimate and the conservative
+    /// wrapper never increases the estimate.
+    #[test]
+    fn estimators_non_negative(values in proptest::collection::vec(-10.0f64..1e6, 1..50), e in 0.0f64..1.0) {
+        let mut ewma = EwmaEstimator::new(0.3);
+        let mut window = WindowedEstimator::new(5);
+        let mut cons = ConservativeEstimator::new(EwmaEstimator::new(0.3), e);
+        for &v in &values {
+            ewma.observe(v);
+            window.observe(v);
+            cons.observe(v);
+        }
+        prop_assert!(ewma.estimate_bps().unwrap() >= 0.0);
+        prop_assert!(window.estimate_bps().unwrap() >= 0.0);
+        prop_assert!(cons.estimate_bps().unwrap() <= ewma.estimate_bps().unwrap() + 1e-9);
+    }
+
+    /// Path sets always produce the requested number of paths with positive
+    /// mean bandwidth.
+    #[test]
+    fn path_sets_well_formed(n in 1usize..200, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = PathSet::generate(
+            n,
+            &NlanrBandwidthModel::paper_default(),
+            VariabilityModel::measured_path_low(),
+            &mut rng,
+        );
+        prop_assert_eq!(set.len(), n);
+        prop_assert!(set.iter().all(|p| p.mean_bps() > 0.0));
+    }
+}

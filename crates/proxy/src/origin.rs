@@ -1,0 +1,321 @@
+//! A rate-limited origin streaming server.
+
+use crate::content::fill_content;
+use crate::error::ProxyError;
+use crate::protocol::{read_request, write_response, Response};
+use crate::ratelimit::RateLimiter;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Static description of an object hosted by an origin server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectSpec {
+    /// Object name (the key clients request).
+    pub name: String,
+    /// Total size in bytes.
+    pub size_bytes: u64,
+    /// CBR encoding rate in bytes per second.
+    pub bitrate_bps: f64,
+}
+
+impl ObjectSpec {
+    /// Creates an object specification.
+    pub fn new(name: impl Into<String>, size_bytes: u64, bitrate_bps: f64) -> Self {
+        ObjectSpec {
+            name: name.into(),
+            size_bytes,
+            bitrate_bps,
+        }
+    }
+
+    /// Playback duration implied by size and bit-rate.
+    pub fn duration_secs(&self) -> f64 {
+        self.size_bytes as f64 / self.bitrate_bps
+    }
+}
+
+/// Configuration of an origin server.
+#[derive(Debug, Clone)]
+pub struct OriginConfig {
+    /// The objects this origin hosts.
+    pub objects: Vec<ObjectSpec>,
+    /// Per-connection throughput cap in bytes per second, emulating the
+    /// constrained cache↔origin path (0 disables the cap).
+    pub rate_limit_bps: f64,
+}
+
+/// A running origin server (one thread per connection).
+///
+/// The server is shut down and joined when dropped.
+#[derive(Debug)]
+pub struct OriginServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct OriginState {
+    objects: RwLock<HashMap<String, ObjectSpec>>,
+    rate_limit_bps: f64,
+}
+
+impl OriginServer {
+    /// Binds to an ephemeral localhost port and starts accepting
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Io`] if binding fails or
+    /// [`ProxyError::InvalidConfig`] if an object has a non-positive size
+    /// or bit-rate.
+    pub fn start(config: OriginConfig) -> Result<Self, ProxyError> {
+        for o in &config.objects {
+            if o.size_bytes == 0 {
+                return Err(ProxyError::InvalidConfig(
+                    "size_bytes",
+                    format!("object `{}` has zero size", o.name),
+                ));
+            }
+            if !(o.bitrate_bps > 0.0) {
+                return Err(ProxyError::InvalidConfig(
+                    "bitrate_bps",
+                    format!("object `{}` has non-positive bit-rate", o.name),
+                ));
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(OriginState {
+            objects: RwLock::new(
+                config
+                    .objects
+                    .into_iter()
+                    .map(|o| (o.name.clone(), o))
+                    .collect(),
+            ),
+            rate_limit_bps: config.rate_limit_bps,
+        });
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let state = Arc::clone(&state);
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &state);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(OriginServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients and proxies should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OriginServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &OriginState) -> Result<(), ProxyError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let request = read_request(&mut reader)?;
+    let spec = match state.objects.read().get(&request.name).cloned() {
+        Some(spec) => spec,
+        None => {
+            write_response(&mut writer, &Response::Err("unknown object".into()))?;
+            return Err(ProxyError::UnknownObject(request.name));
+        }
+    };
+    write_response(
+        &mut writer,
+        &Response::Ok {
+            size: spec.size_bytes,
+            bitrate_bps: spec.bitrate_bps,
+        },
+    )?;
+    let mut limiter = RateLimiter::new(state.rate_limit_bps);
+    let mut offset = request.offset.min(spec.size_bytes);
+    let mut chunk = vec![0u8; 8 * 1024];
+    while offset < spec.size_bytes {
+        let n = chunk.len().min((spec.size_bytes - offset) as usize);
+        fill_content(&spec.name, offset, &mut chunk[..n]);
+        limiter.acquire(n);
+        writer.write_all(&chunk[..n])?;
+        offset += n as u64;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::verify_content;
+    use crate::protocol::{write_request, Request};
+    use std::io::Read;
+
+    fn read_header(reader: &mut impl std::io::BufRead) -> Response {
+        crate::protocol::read_response(reader).unwrap()
+    }
+
+    #[test]
+    fn serves_full_objects_with_correct_content() {
+        let server = OriginServer::start(OriginConfig {
+            objects: vec![ObjectSpec::new("clip", 64 * 1024, 1_000_000.0)],
+            rate_limit_bps: 0.0,
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_request(
+            &mut writer,
+            &Request {
+                name: "clip".into(),
+                offset: 0,
+            },
+        )
+        .unwrap();
+        match read_header(&mut reader) {
+            Response::Ok { size, bitrate_bps } => {
+                assert_eq!(size, 64 * 1024);
+                assert_eq!(bitrate_bps, 1_000_000.0);
+            }
+            Response::Err(e) => panic!("unexpected error: {e}"),
+        }
+        let mut payload = Vec::new();
+        reader.read_to_end(&mut payload).unwrap();
+        assert_eq!(payload.len(), 64 * 1024);
+        assert_eq!(verify_content("clip", 0, &payload), None);
+    }
+
+    #[test]
+    fn serves_ranges_from_an_offset() {
+        let server = OriginServer::start(OriginConfig {
+            objects: vec![ObjectSpec::new("clip", 10_000, 1_000_000.0)],
+            rate_limit_bps: 0.0,
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_request(
+            &mut writer,
+            &Request {
+                name: "clip".into(),
+                offset: 6_000,
+            },
+        )
+        .unwrap();
+        let _ = read_header(&mut reader);
+        let mut payload = Vec::new();
+        reader.read_to_end(&mut payload).unwrap();
+        assert_eq!(payload.len(), 4_000);
+        assert_eq!(verify_content("clip", 6_000, &payload), None);
+    }
+
+    #[test]
+    fn unknown_objects_get_an_error() {
+        let server = OriginServer::start(OriginConfig {
+            objects: vec![],
+            rate_limit_bps: 0.0,
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_request(
+            &mut writer,
+            &Request {
+                name: "missing".into(),
+                offset: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(read_header(&mut reader), Response::Err(_)));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(OriginServer::start(OriginConfig {
+            objects: vec![ObjectSpec::new("z", 0, 1.0)],
+            rate_limit_bps: 0.0,
+        })
+        .is_err());
+        assert!(OriginServer::start(OriginConfig {
+            objects: vec![ObjectSpec::new("z", 10, 0.0)],
+            rate_limit_bps: 0.0,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn rate_limit_slows_transfers() {
+        let server = OriginServer::start(OriginConfig {
+            objects: vec![ObjectSpec::new("clip", 100_000, 1_000_000.0)],
+            rate_limit_bps: 400_000.0,
+        })
+        .unwrap();
+        let start = std::time::Instant::now();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_request(
+            &mut writer,
+            &Request {
+                name: "clip".into(),
+                offset: 0,
+            },
+        )
+        .unwrap();
+        let _ = read_header(&mut reader);
+        let mut payload = Vec::new();
+        reader.read_to_end(&mut payload).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        // 100 KB at 400 KB/s takes about 0.25 s.
+        assert!(elapsed >= 0.2, "elapsed {elapsed}");
+        assert_eq!(payload.len(), 100_000);
+    }
+
+    #[test]
+    fn object_spec_duration() {
+        let spec = ObjectSpec::new("x", 480_000, 48_000.0);
+        assert!((spec.duration_secs() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! The minimal line-based streaming protocol used by the prototype.
+//!
+//! The paper's architecture is transport-agnostic (the authors mention RTSP
+//! and RTP); the prototype only needs a way to request an object (or a byte
+//! range of it) and receive the payload sequentially, so a tiny text
+//! protocol suffices:
+//!
+//! ```text
+//! client → server:  GET <object-name> <start-offset>\n
+//! server → client:  OK <total-size> <bitrate-bps>\n   followed by payload bytes
+//!                   ERR <message>\n
+//! ```
+
+use crate::error::ProxyError;
+use std::io::{BufRead, Write};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Name of the requested object.
+    pub name: String,
+    /// Byte offset at which the transfer should start.
+    pub offset: u64,
+}
+
+/// A parsed response header.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The object exists: total size in bytes and its CBR bit-rate.
+    Ok {
+        /// Total object size in bytes.
+        size: u64,
+        /// Encoding bit-rate in bytes per second.
+        bitrate_bps: f64,
+    },
+    /// The request failed.
+    Err(String),
+}
+
+/// Writes a request line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_request<W: Write>(writer: &mut W, request: &Request) -> Result<(), ProxyError> {
+    writeln!(writer, "GET {} {}", request.name, request.offset)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads and parses a request line.
+///
+/// # Errors
+///
+/// Returns [`ProxyError::Protocol`] for malformed lines and propagates I/O
+/// errors.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ProxyError> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("GET"), Some(name), offset) => {
+            let offset = offset
+                .map(|o| {
+                    o.parse::<u64>()
+                        .map_err(|_| ProxyError::Protocol(format!("bad offset `{o}`")))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            Ok(Request {
+                name: name.to_string(),
+                offset,
+            })
+        }
+        _ => Err(ProxyError::Protocol(format!(
+            "expected `GET <name> [offset]`, got {line:?}"
+        ))),
+    }
+}
+
+/// Writes a response header.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> Result<(), ProxyError> {
+    match response {
+        Response::Ok { size, bitrate_bps } => writeln!(writer, "OK {size} {bitrate_bps}")?,
+        Response::Err(message) => writeln!(writer, "ERR {message}")?,
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads and parses a response header.
+///
+/// # Errors
+///
+/// Returns [`ProxyError::Protocol`] for malformed lines and propagates I/O
+/// errors.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ProxyError> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let trimmed = line.trim_end();
+    if let Some(rest) = trimmed.strip_prefix("OK ") {
+        let mut parts = rest.split_whitespace();
+        let size = parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| ProxyError::Protocol(format!("bad OK header {trimmed:?}")))?;
+        let bitrate_bps = parts
+            .next()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| ProxyError::Protocol(format!("bad OK header {trimmed:?}")))?;
+        Ok(Response::Ok { size, bitrate_bps })
+    } else if let Some(message) = trimmed.strip_prefix("ERR ") {
+        Ok(Response::Err(message.to_string()))
+    } else {
+        Err(ProxyError::Protocol(format!(
+            "expected `OK`/`ERR` header, got {trimmed:?}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut buf = Vec::new();
+        let req = Request {
+            name: "movie-7".into(),
+            offset: 4096,
+        };
+        write_request(&mut buf, &req).unwrap();
+        let parsed = read_request(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_without_offset_defaults_to_zero() {
+        let parsed = read_request(&mut BufReader::new("GET clip\n".as_bytes())).unwrap();
+        assert_eq!(parsed.offset, 0);
+        assert_eq!(parsed.name, "clip");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(read_request(&mut BufReader::new("PUT clip\n".as_bytes())).is_err());
+        assert!(read_request(&mut BufReader::new("GET clip abc\n".as_bytes())).is_err());
+        assert!(read_request(&mut BufReader::new("\n".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::Ok {
+                size: 1_000_000,
+                bitrate_bps: 48_000.0,
+            },
+        )
+        .unwrap();
+        let parsed = read_response(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(
+            parsed,
+            Response::Ok {
+                size: 1_000_000,
+                bitrate_bps: 48_000.0
+            }
+        );
+
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::Err("unknown object".into())).unwrap();
+        let parsed = read_response(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, Response::Err("unknown object".to_string()));
+    }
+
+    #[test]
+    fn malformed_responses_are_rejected() {
+        assert!(read_response(&mut BufReader::new("YES 5\n".as_bytes())).is_err());
+        assert!(read_response(&mut BufReader::new("OK abc def\n".as_bytes())).is_err());
+    }
+}

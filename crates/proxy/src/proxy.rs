@@ -1,0 +1,385 @@
+//! The caching proxy: prefix caching plus joint cache/origin delivery.
+
+use crate::content::verify_content;
+use crate::error::ProxyError;
+use crate::protocol::{read_request, read_response, write_request, write_response, Request, Response};
+use crate::store::PrefixStore;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sc_cache::policy::PolicyKind;
+use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+use sc_netmodel::{BandwidthEstimator, EwmaEstimator};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of the caching proxy.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Address of the origin server to fetch misses from.
+    pub origin_addr: SocketAddr,
+    /// Cache capacity in bytes.
+    pub cache_capacity_bytes: f64,
+    /// The cache-management policy (PB by default).
+    pub policy: PolicyKind,
+    /// Bandwidth assumed towards the origin before any transfer has been
+    /// observed (bytes per second). Subsequent transfers feed an EWMA
+    /// estimator (passive measurement, Section 2.7 of the paper).
+    pub assumed_origin_bps: f64,
+}
+
+impl ProxyConfig {
+    /// A PB-policy proxy in front of `origin_addr` with the given capacity.
+    pub fn new(origin_addr: SocketAddr, cache_capacity_bytes: f64) -> Self {
+        ProxyConfig {
+            origin_addr,
+            cache_capacity_bytes,
+            policy: PolicyKind::PartialBandwidth,
+            assumed_origin_bps: 64_000.0,
+        }
+    }
+}
+
+/// Per-proxy cache statistics exposed for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProxyStats {
+    /// Requests handled.
+    pub requests: u64,
+    /// Bytes served to clients straight from the prefix store.
+    pub bytes_from_cache: u64,
+    /// Bytes relayed from the origin server.
+    pub bytes_from_origin: u64,
+    /// Current number of objects with a cached prefix.
+    pub cached_objects: usize,
+    /// Current bytes held in the prefix store.
+    pub cached_bytes: u64,
+    /// Latest estimate of the origin-path bandwidth in bytes per second.
+    pub estimated_origin_bps: f64,
+}
+
+#[derive(Debug)]
+struct ProxyState {
+    config: ProxyConfig,
+    engine: Mutex<CacheEngine<Box<dyn sc_cache::policy::UtilityPolicy + Send + Sync>>>,
+    store: PrefixStore,
+    metadata: Mutex<HashMap<String, (u64, f64)>>, // name -> (size, bitrate)
+    names: Mutex<HashMap<ObjectKey, String>>,
+    estimator: Mutex<EwmaEstimator>,
+    stats: Mutex<ProxyStats>,
+}
+
+/// A running caching proxy (one thread per client connection).
+///
+/// The proxy serves whatever prefix of the requested object it holds at
+/// LAN speed, fetches the remainder from the origin over the (rate-limited)
+/// WAN path, updates its bandwidth estimate from the observed origin
+/// throughput, and lets the configured [`PolicyKind`] decide how large a
+/// prefix of the object to retain.
+#[derive(Debug)]
+pub struct CachingProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    state: Arc<ProxyState>,
+}
+
+impl CachingProxy {
+    /// Binds to an ephemeral localhost port and starts accepting clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::InvalidConfig`] for a negative capacity and
+    /// [`ProxyError::Io`] if binding fails.
+    pub fn start(config: ProxyConfig) -> Result<Self, ProxyError> {
+        let engine = CacheEngine::new(config.cache_capacity_bytes, config.policy.build())
+            .map_err(|e| ProxyError::InvalidConfig("cache_capacity_bytes", e.to_string()))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(ProxyState {
+            config,
+            engine: Mutex::new(engine),
+            store: PrefixStore::new(),
+            metadata: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+            estimator: Mutex::new(EwmaEstimator::new(0.3)),
+            stats: Mutex::new(ProxyStats::default()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let state = Arc::clone(&accept_state);
+                        std::thread::spawn(move || {
+                            let _ = handle_client(stream, &state);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(CachingProxy {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            state,
+        })
+    }
+
+    /// The address streaming clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the proxy's statistics.
+    pub fn stats(&self) -> ProxyStats {
+        let mut stats = *self.state.stats.lock();
+        stats.cached_objects = self.state.store.len();
+        stats.cached_bytes = self.state.store.total_bytes() as u64;
+        stats.estimated_origin_bps = self
+            .state
+            .estimator
+            .lock()
+            .estimate_bps()
+            .unwrap_or(self.state.config.assumed_origin_bps);
+        stats
+    }
+
+    /// Bytes of `name` currently cached.
+    pub fn cached_prefix_len(&self, name: &str) -> usize {
+        self.state.store.prefix_len(name)
+    }
+
+    /// Requests shutdown and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CachingProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Stable mapping from object names to cache keys (FNV-1a).
+fn key_for(name: &str) -> ObjectKey {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    ObjectKey::new(h)
+}
+
+fn handle_client(stream: TcpStream, state: &ProxyState) -> Result<(), ProxyError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let request = read_request(&mut reader)?;
+    let name = request.name.clone();
+
+    let cached = state.store.get(&name).unwrap_or_else(Bytes::new);
+    let known_meta = state.metadata.lock().get(&name).copied();
+
+    // Open an origin connection when the object is not fully cached or its
+    // metadata is still unknown; the connection is opened *before* replying
+    // to the client so that the tail can be relayed as it arrives.
+    let mut origin_reader: Option<BufReader<TcpStream>> = None;
+    let (size, bitrate) = match known_meta {
+        Some((size, bitrate)) => {
+            if (cached.len() as u64) < size {
+                origin_reader = Some(
+                    open_origin(state, &name, cached.len() as u64)?
+                        .ok_or_else(|| ProxyError::UnknownObject(name.clone()))?
+                        .0,
+                );
+            }
+            (size, bitrate)
+        }
+        None => {
+            // First contact: learn the metadata from the origin's header.
+            match open_origin(state, &name, cached.len() as u64)? {
+                Some((reader, size, bitrate_bps)) => {
+                    state
+                        .metadata
+                        .lock()
+                        .insert(name.clone(), (size, bitrate_bps));
+                    origin_reader = Some(reader);
+                    (size, bitrate_bps)
+                }
+                None => {
+                    write_response(&mut writer, &Response::Err("unknown object".into()))?;
+                    return Err(ProxyError::UnknownObject(name));
+                }
+            }
+        }
+    };
+
+    // Serve the client: header and cached prefix immediately (LAN speed),
+    // then relay the origin bytes chunk by chunk as they trickle in.
+    write_response(
+        &mut writer,
+        &Response::Ok {
+            size,
+            bitrate_bps: bitrate,
+        },
+    )?;
+    let prefix_bytes = cached.len().min(size as usize);
+    writer.write_all(&cached[..prefix_bytes])?;
+    writer.flush()?;
+
+    let mut tail: Vec<u8> = Vec::new();
+    let mut origin_bps: Option<f64> = None;
+    if let Some(mut reader) = origin_reader.take() {
+        let started = Instant::now();
+        let mut chunk = vec![0u8; 16 * 1024];
+        loop {
+            let n = reader.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            writer.write_all(&chunk[..n])?;
+            writer.flush()?;
+            tail.extend_from_slice(&chunk[..n]);
+        }
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 && !tail.is_empty() {
+            origin_bps = Some(tail.len() as f64 / secs);
+        }
+    }
+
+    // Defensive check: the relayed tail must continue the cached prefix.
+    debug_assert_eq!(
+        verify_content(&name, prefix_bytes as u64, &tail),
+        None,
+        "origin payload does not match expected content"
+    );
+    let origin_payload = tail;
+
+    // Update the bandwidth estimate from the observed origin throughput.
+    if let Some(bps) = origin_bps {
+        state.estimator.lock().observe(bps);
+    }
+    let estimated = state
+        .estimator
+        .lock()
+        .estimate_bps()
+        .unwrap_or(state.config.assumed_origin_bps);
+
+    // Let the policy decide how much of this object to keep, then reconcile
+    // the byte store with the engine's allocations.
+    let key = key_for(&name);
+    state.names.lock().insert(key, name.clone());
+    let duration = size as f64 / bitrate;
+    let meta = ObjectMeta::new(key, duration, bitrate, 0.0);
+    let target_bytes;
+    {
+        let mut engine = state.engine.lock();
+        engine.on_access(&meta, estimated);
+        target_bytes = engine.cached_bytes(key);
+        // Remove stored prefixes of objects the engine evicted.
+        let names = state.names.lock();
+        let live: std::collections::HashSet<ObjectKey> =
+            engine.contents().iter().map(|(k, _)| *k).collect();
+        for (k, n) in names.iter() {
+            if !live.contains(k) {
+                state.store.remove(n);
+            }
+        }
+        // Shrink over-long prefixes (e.g. after the engine reduced another
+        // object's allocation).
+        for (k, bytes) in engine.contents() {
+            if let Some(n) = names.get(&k) {
+                state.store.truncate(n, bytes as usize);
+            }
+        }
+    }
+
+    // Grow this object's stored prefix up to the engine's allocation using
+    // the bytes we already have in hand (cached prefix + relayed tail).
+    let desired = (target_bytes as usize).min(size as usize);
+    if desired > 0 {
+        let have = prefix_bytes + origin_payload.len();
+        let usable = desired.min(have);
+        if usable > state.store.prefix_len(&name) {
+            let mut prefix = Vec::with_capacity(usable);
+            prefix.extend_from_slice(&cached[..prefix_bytes.min(usable)]);
+            if usable > prefix_bytes {
+                prefix.extend_from_slice(&origin_payload[..usable - prefix_bytes]);
+            }
+            state.store.put(&name, Bytes::from(prefix));
+        }
+    } else {
+        state.store.remove(&name);
+    }
+
+    let mut stats = state.stats.lock();
+    stats.requests += 1;
+    stats.bytes_from_cache += prefix_bytes as u64;
+    stats.bytes_from_origin += origin_payload.len() as u64;
+    Ok(())
+}
+
+/// Opens an origin connection for `name` starting at `offset` and reads the
+/// response header. Returns the positioned reader plus the object's size and
+/// bit-rate, or `None` if the origin does not know the object.
+fn open_origin(
+    state: &ProxyState,
+    name: &str,
+    offset: u64,
+) -> Result<Option<(BufReader<TcpStream>, u64, f64)>, ProxyError> {
+    let stream = TcpStream::connect(state.config.origin_addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut origin_writer = BufWriter::new(stream);
+    write_request(
+        &mut origin_writer,
+        &Request {
+            name: name.to_string(),
+            offset,
+        },
+    )?;
+    match read_response(&mut reader)? {
+        Response::Ok { size, bitrate_bps } => Ok(Some((reader, size, bitrate_bps))),
+        Response::Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_eq!(key_for("movie-1"), key_for("movie-1"));
+        assert_ne!(key_for("movie-1"), key_for("movie-2"));
+    }
+
+    #[test]
+    fn proxy_config_defaults_to_pb() {
+        let cfg = ProxyConfig::new("127.0.0.1:9".parse().unwrap(), 1e6);
+        assert_eq!(cfg.policy, PolicyKind::PartialBandwidth);
+        assert!(cfg.assumed_origin_bps > 0.0);
+    }
+
+    #[test]
+    fn invalid_capacity_is_rejected() {
+        let cfg = ProxyConfig::new("127.0.0.1:9".parse().unwrap(), -1.0);
+        assert!(CachingProxy::start(cfg).is_err());
+    }
+}

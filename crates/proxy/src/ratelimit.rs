@@ -1,0 +1,111 @@
+//! Token-bucket pacing used to emulate constrained origin-server paths.
+
+use std::time::{Duration, Instant};
+
+/// A byte-rate limiter that paces a sender to a target throughput.
+///
+/// The origin server of the prototype wraps every connection in a
+/// `RateLimiter` so that the path between the proxy and the origin behaves
+/// like the bandwidth-constrained Internet paths of the paper, while the
+/// cache→client hop stays unconstrained (the paper's "abundant last-mile
+/// bandwidth" assumption).
+///
+/// ```
+/// use sc_proxy::RateLimiter;
+/// use std::time::Instant;
+///
+/// let mut limiter = RateLimiter::new(1_000_000.0); // 1 MB/s
+/// let start = Instant::now();
+/// limiter.acquire(100_000);                         // 100 KB
+/// // Pacing 100 KB at 1 MB/s takes about 0.1 s.
+/// assert!(start.elapsed().as_secs_f64() >= 0.08);
+/// ```
+#[derive(Debug)]
+pub struct RateLimiter {
+    bytes_per_sec: f64,
+    started: Instant,
+    consumed_bytes: f64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter with the given target rate in bytes per second.
+    /// Rates of zero or below disable pacing entirely (unlimited).
+    pub fn new(bytes_per_sec: f64) -> Self {
+        RateLimiter {
+            bytes_per_sec,
+            started: Instant::now(),
+            consumed_bytes: 0.0,
+        }
+    }
+
+    /// The configured rate in bytes per second (`0.0` means unlimited).
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec.max(0.0)
+    }
+
+    /// Returns `true` if the limiter enforces no pacing.
+    pub fn is_unlimited(&self) -> bool {
+        self.bytes_per_sec <= 0.0
+    }
+
+    /// Blocks until sending `bytes` more bytes keeps the cumulative
+    /// throughput at or below the target rate.
+    pub fn acquire(&mut self, bytes: usize) {
+        if self.is_unlimited() {
+            return;
+        }
+        self.consumed_bytes += bytes as f64;
+        let due = Duration::from_secs_f64(self.consumed_bytes / self.bytes_per_sec);
+        let elapsed = self.started.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+    }
+
+    /// Observed average throughput so far in bytes per second.
+    pub fn observed_bps(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.consumed_bytes / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_sleeps() {
+        let mut limiter = RateLimiter::new(0.0);
+        assert!(limiter.is_unlimited());
+        let start = Instant::now();
+        limiter.acquire(100_000_000);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn paced_transfer_takes_expected_time() {
+        let mut limiter = RateLimiter::new(2_000_000.0);
+        let start = Instant::now();
+        for _ in 0..10 {
+            limiter.acquire(40_000); // 400 KB total at 2 MB/s ≈ 0.2 s
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.15, "elapsed {elapsed}");
+        assert!(elapsed < 1.0, "elapsed {elapsed}");
+        let observed = limiter.observed_bps();
+        assert!(
+            (observed - 2_000_000.0).abs() / 2_000_000.0 < 0.25,
+            "observed {observed}"
+        );
+    }
+
+    #[test]
+    fn rate_accessor() {
+        assert_eq!(RateLimiter::new(500.0).bytes_per_sec(), 500.0);
+        assert_eq!(RateLimiter::new(-5.0).bytes_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-request bandwidth provisioning for the simulator.
+
+use crate::config::VariabilityKind;
+use rand::Rng;
+use sc_netmodel::{NlanrBandwidthModel, PathSet, VariabilityModel};
+
+/// Supplies the simulator with per-object average bandwidths and per-request
+/// instantaneous bandwidth samples.
+///
+/// Matches the methodology of Section 4.3 of the paper: every object's
+/// origin server is reached over a path whose *average* bandwidth is drawn
+/// from the NLANR-like distribution of Figure 2, and each request observes
+/// an *instance* obtained by multiplying that average by a ratio drawn from
+/// the configured variability model.
+#[derive(Debug, Clone)]
+pub struct BandwidthProvider {
+    paths: PathSet,
+    variability: VariabilityModel,
+}
+
+impl BandwidthProvider {
+    /// Generates bandwidth state for `objects` objects.
+    ///
+    /// Path averages are drawn from the paper-default NLANR model using
+    /// `rng`; per-request variation follows `kind`.
+    pub fn generate<R: Rng + ?Sized>(objects: usize, kind: VariabilityKind, rng: &mut R) -> Self {
+        let variability = kind.model();
+        let paths = PathSet::generate(
+            objects,
+            &NlanrBandwidthModel::paper_default(),
+            variability.clone(),
+            rng,
+        );
+        BandwidthProvider { paths, variability }
+    }
+
+    /// Builds a provider from an explicit path set and variability model
+    /// (used by tests and ablations).
+    pub fn from_parts(paths: PathSet, variability: VariabilityModel) -> Self {
+        BandwidthProvider { paths, variability }
+    }
+
+    /// Number of paths (== number of objects).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Returns `true` if the provider holds no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The average bandwidth of the path to object `index`, i.e. what a
+    /// measurement-based estimator would report to the caching algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn estimated_bps(&self, index: usize) -> f64 {
+        self.paths.mean_bps(index)
+    }
+
+    /// The instantaneous bandwidth observed by one request for object
+    /// `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn instantaneous_bps<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> f64 {
+        self.paths.bandwidth_sample(index, rng)
+    }
+
+    /// The variability model in use.
+    pub fn variability(&self) -> &VariabilityModel {
+        &self.variability
+    }
+
+    /// The underlying path set.
+    pub fn paths(&self) -> &PathSet {
+        &self.paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_variability_matches_estimate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = BandwidthProvider::generate(50, VariabilityKind::Constant, &mut rng);
+        assert_eq!(p.len(), 50);
+        assert!(!p.is_empty());
+        for i in 0..50 {
+            let est = p.estimated_bps(i);
+            let inst = p.instantaneous_bps(i, &mut rng);
+            assert!((est - inst).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn variable_bandwidth_deviates_from_estimate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = BandwidthProvider::generate(20, VariabilityKind::NlanrLike, &mut rng);
+        let mut any_deviation = false;
+        for i in 0..20 {
+            let est = p.estimated_bps(i);
+            let inst = p.instantaneous_bps(i, &mut rng);
+            assert!(inst >= 0.0);
+            if (est - inst).abs() > 1.0 {
+                any_deviation = true;
+            }
+        }
+        assert!(any_deviation);
+        assert!(p.variability().coefficient_of_variation() > 0.3);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let pa = BandwidthProvider::generate(30, VariabilityKind::MeasuredLow, &mut a);
+        let pb = BandwidthProvider::generate(30, VariabilityKind::MeasuredLow, &mut b);
+        for i in 0..30 {
+            assert_eq!(pa.estimated_bps(i), pb.estimated_bps(i));
+        }
+        assert_eq!(pa.paths().len(), 30);
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulation configuration.
+
+use sc_cache::policy::PolicyKind;
+use sc_workload::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Which bandwidth-variability model drives the instantaneous bandwidth of
+/// each request (Section 3.1 / Figures 3–4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VariabilityKind {
+    /// No variability: each path's bandwidth is constant over time
+    /// (the assumption behind Figures 5, 6 and 10).
+    Constant,
+    /// High variability matching the NLANR proxy-log ratios (Figure 3;
+    /// used in Figure 7).
+    NlanrLike,
+    /// Low variability (INRIA-like measured path, Figure 4).
+    MeasuredLow,
+    /// Moderate variability (Taiwan-like measured path, Figure 4; used in
+    /// Figures 8, 11 and 12).
+    MeasuredModerate,
+    /// Higher measured-path variability (Hong-Kong-like, Figure 4).
+    MeasuredHigh,
+}
+
+impl VariabilityKind {
+    /// Instantiates the corresponding ratio distribution.
+    pub fn model(&self) -> sc_netmodel::VariabilityModel {
+        use sc_netmodel::VariabilityModel as V;
+        match self {
+            VariabilityKind::Constant => V::constant(),
+            VariabilityKind::NlanrLike => V::nlanr_like(),
+            VariabilityKind::MeasuredLow => V::measured_path_low(),
+            VariabilityKind::MeasuredModerate => V::measured_path_moderate(),
+            VariabilityKind::MeasuredHigh => V::measured_path_high(),
+        }
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VariabilityKind::Constant => "constant",
+            VariabilityKind::NlanrLike => "nlanr-variability",
+            VariabilityKind::MeasuredLow => "measured-low",
+            VariabilityKind::MeasuredModerate => "measured-moderate",
+            VariabilityKind::MeasuredHigh => "measured-high",
+        }
+    }
+}
+
+/// Error returned when a [`SimulationConfig`] is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The cache size was negative or not finite.
+    InvalidCacheSize(f64),
+    /// The warm-up fraction was outside `[0, 1)`.
+    InvalidWarmup(f64),
+    /// The workload configuration was invalid.
+    Workload(String),
+    /// The number of replicated runs was zero.
+    NoRuns,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidCacheSize(v) => {
+                write!(f, "cache size must be finite and non-negative, got {v}")
+            }
+            SimError::InvalidWarmup(v) => {
+                write!(f, "warm-up fraction must lie in [0, 1), got {v}")
+            }
+            SimError::Workload(why) => write!(f, "invalid workload configuration: {why}"),
+            SimError::NoRuns => write!(f, "at least one simulation run is required"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Workload (catalog + request trace) configuration.
+    pub workload: WorkloadConfig,
+    /// Cache capacity in bytes.
+    pub cache_size_bytes: f64,
+    /// Replacement policy under test.
+    pub policy: PolicyKind,
+    /// Bandwidth variability model.
+    pub variability: VariabilityKind,
+    /// Fraction of the trace used to warm the cache before metrics are
+    /// collected (the paper uses the first half, i.e. `0.5`).
+    pub warmup_fraction: f64,
+    /// Base seed; replicated runs use `seed`, `seed + 1`, ….
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            workload: WorkloadConfig::default(),
+            cache_size_bytes: 32.0 * 1e9,
+            policy: PolicyKind::PartialBandwidth,
+            variability: VariabilityKind::Constant,
+            warmup_fraction: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// The paper's default setting (Table 1 workload, constant bandwidth,
+    /// 32 GB cache, PB policy, first half of the trace as warm-up).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A reduced-scale configuration suitable for unit tests and examples
+    /// (500 objects, 5,000 requests).
+    pub fn small() -> Self {
+        SimulationConfig {
+            workload: WorkloadConfig::small(),
+            cache_size_bytes: 2.0 * 1e9,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the cache size as a fraction of the expected total unique bytes
+    /// of the workload (the x-axis of most figures in the paper).
+    pub fn with_cache_fraction(mut self, fraction: f64) -> Self {
+        self.cache_size_bytes = fraction * self.expected_total_bytes();
+        self
+    }
+
+    /// Expected total unique bytes implied by the workload configuration
+    /// (object count × mean duration × bit-rate).
+    pub fn expected_total_bytes(&self) -> f64 {
+        let mu = self.workload.catalog.duration_mu;
+        let sigma = self.workload.catalog.duration_sigma;
+        let mean_minutes = (mu + sigma * sigma / 2.0).exp();
+        self.workload.catalog.objects as f64
+            * mean_minutes
+            * 60.0
+            * self.workload.catalog.bitrate_bps
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.cache_size_bytes.is_finite() || self.cache_size_bytes < 0.0 {
+            return Err(SimError::InvalidCacheSize(self.cache_size_bytes));
+        }
+        if !self.warmup_fraction.is_finite() || !(0.0..1.0).contains(&self.warmup_fraction) {
+            return Err(SimError::InvalidWarmup(self.warmup_fraction));
+        }
+        self.workload
+            .validate()
+            .map_err(|e| SimError::Workload(e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimulationConfig::paper_default();
+        assert_eq!(c.workload.catalog.objects, 5_000);
+        assert_eq!(c.warmup_fraction, 0.5);
+        assert_eq!(c.variability, VariabilityKind::Constant);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn expected_total_bytes_is_near_790_gb_at_paper_scale() {
+        let c = SimulationConfig::paper_default();
+        let gb = c.expected_total_bytes() / 1e9;
+        assert!((750.0..830.0).contains(&gb), "expected total {gb} GB");
+    }
+
+    #[test]
+    fn cache_fraction_scales_capacity() {
+        let c = SimulationConfig::paper_default().with_cache_fraction(0.01);
+        assert!((c.cache_size_bytes / c.expected_total_bytes() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = SimulationConfig::small();
+        c.cache_size_bytes = -1.0;
+        assert!(matches!(c.validate(), Err(SimError::InvalidCacheSize(_))));
+        let mut c = SimulationConfig::small();
+        c.warmup_fraction = 1.0;
+        assert!(matches!(c.validate(), Err(SimError::InvalidWarmup(_))));
+        let mut c = SimulationConfig::small();
+        c.workload.catalog.objects = 0;
+        assert!(matches!(c.validate(), Err(SimError::Workload(_))));
+    }
+
+    #[test]
+    fn variability_kinds_build_models() {
+        for kind in [
+            VariabilityKind::Constant,
+            VariabilityKind::NlanrLike,
+            VariabilityKind::MeasuredLow,
+            VariabilityKind::MeasuredModerate,
+            VariabilityKind::MeasuredHigh,
+        ] {
+            let m = kind.model();
+            assert!((m.distribution().mean() - 1.0).abs() < 1e-9);
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(
+            VariabilityKind::Constant.model().coefficient_of_variation(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn sim_error_display() {
+        assert!(SimError::NoRuns.to_string().contains("at least one"));
+        assert!(SimError::InvalidCacheSize(-2.0).to_string().contains("-2"));
+    }
+}

@@ -1,0 +1,119 @@
+//! The joint cache + origin delivery model (Section 2.1 of the paper).
+
+use sc_cache::{service_delay_secs, stream_quality, ObjectMeta};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of delivering one request jointly from the cache and the origin
+/// server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryOutcome {
+    /// Startup delay in seconds before full-quality playout can begin.
+    pub service_delay_secs: f64,
+    /// Achievable stream quality with immediate playout, in `[0, 1]`.
+    pub stream_quality: f64,
+    /// Bytes of the request served from the cache.
+    pub bytes_from_cache: f64,
+    /// Bytes fetched from the origin server.
+    pub bytes_from_origin: f64,
+    /// Value realised by this request: the object's value if it could be
+    /// played immediately at full quality, zero otherwise (Section 2.6).
+    pub value_added: f64,
+}
+
+/// Computes the delivery outcome for one request.
+///
+/// `cached_bytes` is the prefix available at the cache when the request
+/// arrives and `bandwidth_bps` the instantaneous bandwidth of the path to
+/// the origin during this transfer.
+///
+/// ```
+/// use sc_cache::{ObjectKey, ObjectMeta};
+/// use sc_sim::deliver;
+///
+/// let obj = ObjectMeta::new(ObjectKey::new(1), 100.0, 48_000.0, 4.0);
+/// // Nothing cached over a half-rate path: the client waits.
+/// let miss = deliver(&obj, 0.0, 24_000.0);
+/// assert_eq!(miss.service_delay_secs, 100.0);
+/// assert_eq!(miss.value_added, 0.0);
+/// // Prefix cached: immediate full-quality playout, value realised.
+/// let hit = deliver(&obj, obj.size_bytes() / 2.0, 24_000.0);
+/// assert_eq!(hit.service_delay_secs, 0.0);
+/// assert_eq!(hit.value_added, 4.0);
+/// ```
+pub fn deliver(meta: &ObjectMeta, cached_bytes: f64, bandwidth_bps: f64) -> DeliveryOutcome {
+    let size = meta.size_bytes();
+    let from_cache = cached_bytes.clamp(0.0, size);
+    let from_origin = size - from_cache;
+    let delay = service_delay_secs(
+        meta.duration_secs,
+        meta.bitrate_bps,
+        bandwidth_bps,
+        from_cache,
+    );
+    let quality = stream_quality(
+        meta.duration_secs,
+        meta.bitrate_bps,
+        bandwidth_bps,
+        from_cache,
+    );
+    DeliveryOutcome {
+        service_delay_secs: delay,
+        stream_quality: quality,
+        bytes_from_cache: from_cache,
+        bytes_from_origin: from_origin,
+        value_added: if delay <= 0.0 { meta.value } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_cache::ObjectKey;
+
+    fn obj() -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(1), 200.0, 48_000.0, 6.0)
+    }
+
+    #[test]
+    fn abundant_bandwidth_needs_no_cache() {
+        let out = deliver(&obj(), 0.0, 96_000.0);
+        assert_eq!(out.service_delay_secs, 0.0);
+        assert_eq!(out.stream_quality, 1.0);
+        assert_eq!(out.value_added, 6.0);
+        assert_eq!(out.bytes_from_cache, 0.0);
+        assert_eq!(out.bytes_from_origin, obj().size_bytes());
+    }
+
+    #[test]
+    fn partial_prefix_reduces_delay_and_raises_quality() {
+        let o = obj();
+        let none = deliver(&o, 0.0, 24_000.0);
+        let quarter = deliver(&o, o.size_bytes() / 4.0, 24_000.0);
+        let half = deliver(&o, o.size_bytes() / 2.0, 24_000.0);
+        assert!(none.service_delay_secs > quarter.service_delay_secs);
+        assert!(quarter.service_delay_secs > half.service_delay_secs);
+        assert_eq!(half.service_delay_secs, 0.0);
+        assert!(none.stream_quality < quarter.stream_quality);
+        assert!(quarter.stream_quality < half.stream_quality);
+        assert_eq!(half.value_added, 6.0);
+        assert_eq!(quarter.value_added, 0.0);
+    }
+
+    #[test]
+    fn cached_bytes_clamped_to_size() {
+        let o = obj();
+        let out = deliver(&o, 10.0 * o.size_bytes(), 24_000.0);
+        assert_eq!(out.bytes_from_cache, o.size_bytes());
+        assert_eq!(out.bytes_from_origin, 0.0);
+        assert_eq!(out.service_delay_secs, 0.0);
+    }
+
+    #[test]
+    fn bytes_always_sum_to_size() {
+        let o = obj();
+        for frac in [0.0, 0.3, 0.9, 1.0] {
+            let out = deliver(&o, frac * o.size_bytes(), 30_000.0);
+            assert!((out.bytes_from_cache + out.bytes_from_origin - o.size_bytes()).abs() < 1e-6);
+        }
+    }
+}

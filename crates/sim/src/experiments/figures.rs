@@ -1,0 +1,209 @@
+//! Figures 5–9: delay/quality-oriented policy comparisons.
+
+use crate::config::{SimError, SimulationConfig, VariabilityKind};
+use crate::experiments::ExperimentScale;
+use crate::report::{FigureResult, FigureSeries};
+use crate::sweep::{sweep_estimator, sweep_policies, sweep_zipf_alpha};
+use sc_cache::policy::PolicyKind;
+
+/// The IF / PB / IB comparison over a range of cache sizes, under the given
+/// bandwidth-variability model. This is the common engine behind Figures 5,
+/// 7 and 8 of the paper.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn policy_comparison_figure(
+    id: &str,
+    title: &str,
+    variability: VariabilityKind,
+    scale: ExperimentScale,
+) -> Result<FigureResult, SimError> {
+    let base = SimulationConfig {
+        variability,
+        ..scale.base_config()
+    };
+    let policies = [
+        PolicyKind::IntegralFrequency,
+        PolicyKind::PartialBandwidth,
+        PolicyKind::IntegralBandwidth,
+    ];
+    let series = sweep_policies(
+        &base,
+        &policies,
+        &scale.cache_fractions(),
+        scale.runs(),
+    )?;
+    let mut fig = FigureResult::new(id, title, "cache fraction");
+    fig.series = series;
+    Ok(fig)
+}
+
+/// Figure 5: IF vs PB vs IB under **constant** bandwidth — traffic-reduction
+/// ratio, average service delay and average stream quality versus cache
+/// size.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn fig5(scale: ExperimentScale) -> Result<FigureResult, SimError> {
+    policy_comparison_figure(
+        "fig5",
+        "IF vs PB vs IB under constant bandwidth",
+        VariabilityKind::Constant,
+        scale,
+    )
+}
+
+/// Figure 7: the same comparison under **high** (NLANR-log-like) bandwidth
+/// variability.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn fig7(scale: ExperimentScale) -> Result<FigureResult, SimError> {
+    policy_comparison_figure(
+        "fig7",
+        "IF vs PB vs IB under high (NLANR-like) bandwidth variability",
+        VariabilityKind::NlanrLike,
+        scale,
+    )
+}
+
+/// Figure 8: the same comparison under **low** (measured-path) bandwidth
+/// variability.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn fig8(scale: ExperimentScale) -> Result<FigureResult, SimError> {
+    policy_comparison_figure(
+        "fig8",
+        "IF vs PB vs IB under measured-path bandwidth variability",
+        VariabilityKind::MeasuredModerate,
+        scale,
+    )
+}
+
+/// Figure 6: effect of the Zipf-like popularity skew α on PB and IB, over a
+/// grid of (α, cache size) points. Each series is labelled
+/// `"<policy> C=<fraction>"` with α on the x-axis.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn fig6(scale: ExperimentScale) -> Result<FigureResult, SimError> {
+    let base = scale.base_config();
+    let alphas: Vec<f64> = match scale {
+        ExperimentScale::Paper => vec![0.6, 0.73, 0.9, 1.05, 1.2],
+        ExperimentScale::Quick => vec![0.6, 0.9, 1.2],
+        ExperimentScale::Test => vec![0.6, 1.2],
+    };
+    let fractions = scale.cache_fractions();
+    let mut fig = FigureResult::new(
+        "fig6",
+        "Effect of Zipf popularity skew (alpha) on PB and IB",
+        "zipf alpha",
+    );
+    for policy in [PolicyKind::PartialBandwidth, PolicyKind::IntegralBandwidth] {
+        for &fraction in &fractions {
+            let points = sweep_zipf_alpha(&base, policy, fraction, &alphas, scale.runs())?;
+            let mut series =
+                FigureSeries::new(format!("{} C={:.3}", policy.label(), fraction));
+            for (alpha, metrics) in points {
+                series.push(alpha, metrics);
+            }
+            fig.series.push(series);
+        }
+    }
+    Ok(fig)
+}
+
+/// Figure 9: the estimator sweep — partial caching based on a conservative
+/// bandwidth estimate `e ∈ (0, 1]`, spanning the spectrum from IB-like
+/// (`e → 0`) to PB (`e = 1`), under variable bandwidth. One series per
+/// cache size, `e` on the x-axis.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn fig9(scale: ExperimentScale) -> Result<FigureResult, SimError> {
+    let base = SimulationConfig {
+        variability: VariabilityKind::NlanrLike,
+        ..scale.base_config()
+    };
+    let estimators: Vec<f64> = match scale {
+        ExperimentScale::Paper => vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        ExperimentScale::Quick => vec![0.0, 0.5, 1.0],
+        ExperimentScale::Test => vec![0.0, 1.0],
+    };
+    let mut fig = FigureResult::new(
+        "fig9",
+        "Partial caching with conservative bandwidth estimation (PB(e))",
+        "estimator e",
+    );
+    for &fraction in &scale.cache_fractions() {
+        let points = sweep_estimator(&base, fraction, &estimators, false, scale.runs())?;
+        let mut series = FigureSeries::new(format!("PB(e) C={fraction:.3}"));
+        for (e, metrics) in points {
+            series.push(e, metrics);
+        }
+        fig.series.push(series);
+    }
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shapes_match_the_paper() {
+        let fig = fig5(ExperimentScale::Test).unwrap();
+        assert_eq!(fig.series.len(), 3);
+        let if_series = fig.series("IF").unwrap();
+        let pb_series = fig.series("PB").unwrap();
+        let ib_series = fig.series("IB").unwrap();
+        for i in 0..if_series.points.len() {
+            let if_m = if_series.points[i].metrics;
+            let pb_m = pb_series.points[i].metrics;
+            let ib_m = ib_series.points[i].metrics;
+            // Paper Figure 5: IF achieves the highest traffic reduction, PB
+            // the lowest; PB achieves the lowest delay and highest quality.
+            assert!(
+                if_m.traffic_reduction_ratio >= pb_m.traffic_reduction_ratio - 0.03,
+                "IF traffic {} vs PB {}",
+                if_m.traffic_reduction_ratio,
+                pb_m.traffic_reduction_ratio
+            );
+            assert!(
+                pb_m.avg_service_delay_secs <= if_m.avg_service_delay_secs + 1.0,
+                "PB delay {} vs IF {}",
+                pb_m.avg_service_delay_secs,
+                if_m.avg_service_delay_secs
+            );
+            assert!(
+                pb_m.avg_service_delay_secs <= ib_m.avg_service_delay_secs + 1.0,
+                "PB delay {} vs IB {}",
+                pb_m.avg_service_delay_secs,
+                ib_m.avg_service_delay_secs
+            );
+            assert!(pb_m.avg_stream_quality + 0.02 >= if_m.avg_stream_quality);
+        }
+    }
+
+    #[test]
+    fn fig9_e_zero_reduces_more_traffic_than_e_one() {
+        let fig = fig9(ExperimentScale::Test).unwrap();
+        for series in &fig.series {
+            let first = series.points.first().unwrap();
+            let last = series.points.last().unwrap();
+            assert_eq!(first.x, 0.0);
+            assert_eq!(last.x, 1.0);
+            assert!(
+                first.metrics.traffic_reduction_ratio
+                    >= last.metrics.traffic_reduction_ratio - 0.03
+            );
+        }
+    }
+}

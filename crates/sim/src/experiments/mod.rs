@@ -1,0 +1,101 @@
+//! Drivers that regenerate every table and figure of the paper's evaluation
+//! (Section 4).
+//!
+//! Each function returns a [`FigureResult`](crate::FigureResult) containing
+//! the same series the paper plots; the `sc-bench` binaries print these as
+//! tables and JSON. Absolute values differ from the paper (the bandwidth
+//! models are synthetic equivalents — see `DESIGN.md`), but the qualitative
+//! shape (which policy wins, where crossovers occur) is preserved.
+
+mod figures;
+mod table1;
+mod value_figures;
+
+pub use figures::{fig5, fig6, fig7, fig8, fig9, policy_comparison_figure};
+pub use table1::{table1, Table1};
+pub use value_figures::{fig10, fig11, fig12, value_comparison_figure};
+
+use crate::config::SimulationConfig;
+use crate::sweep::{PAPER_CACHE_FRACTIONS, QUICK_CACHE_FRACTIONS};
+use sc_workload::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+
+/// How much compute to spend on an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Full paper scale: 5,000 objects, 100,000 requests per run, several
+    /// replicated runs per data point, all six cache sizes.
+    Paper,
+    /// Reduced scale for quick exploration: 1,000 objects, 20,000 requests,
+    /// two runs, three cache sizes.
+    Quick,
+    /// Minimal scale used by the test suite: 300 objects, 4,000 requests,
+    /// one run, two cache sizes.
+    Test,
+}
+
+impl ExperimentScale {
+    /// The workload configuration for this scale.
+    pub fn workload(&self) -> WorkloadConfig {
+        let mut w = WorkloadConfig::paper_default();
+        match self {
+            ExperimentScale::Paper => {}
+            ExperimentScale::Quick => {
+                w.catalog.objects = 1_000;
+                w.trace.requests = 20_000;
+            }
+            ExperimentScale::Test => {
+                w.catalog.objects = 300;
+                w.trace.requests = 4_000;
+            }
+        }
+        w
+    }
+
+    /// Number of replicated runs averaged per data point.
+    pub fn runs(&self) -> usize {
+        match self {
+            // The paper averages ten runs; three keeps the full-scale
+            // harness affordable while still smoothing seed noise.
+            ExperimentScale::Paper => 3,
+            ExperimentScale::Quick => 2,
+            ExperimentScale::Test => 1,
+        }
+    }
+
+    /// Cache-size fractions swept on the x-axis.
+    pub fn cache_fractions(&self) -> Vec<f64> {
+        match self {
+            ExperimentScale::Paper => PAPER_CACHE_FRACTIONS.to_vec(),
+            ExperimentScale::Quick => QUICK_CACHE_FRACTIONS.to_vec(),
+            ExperimentScale::Test => vec![0.02, 0.1],
+        }
+    }
+
+    /// The base simulation configuration for this scale (constant bandwidth,
+    /// PB policy; experiments override what they need).
+    pub fn base_config(&self) -> SimulationConfig {
+        SimulationConfig {
+            workload: self.workload(),
+            ..SimulationConfig::paper_default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_shrink_monotonically() {
+        let paper = ExperimentScale::Paper;
+        let quick = ExperimentScale::Quick;
+        let test = ExperimentScale::Test;
+        assert!(paper.workload().trace.requests > quick.workload().trace.requests);
+        assert!(quick.workload().trace.requests > test.workload().trace.requests);
+        assert!(paper.runs() >= quick.runs());
+        assert!(quick.runs() >= test.runs());
+        assert!(paper.cache_fractions().len() >= quick.cache_fractions().len());
+        assert!(test.base_config().validate().is_ok());
+    }
+}

@@ -1,0 +1,129 @@
+//! Table 1: characteristics of the synthetic workload.
+
+use crate::config::SimError;
+use crate::experiments::ExperimentScale;
+use sc_workload::{CatalogStats, TraceStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The reproduced Table 1: the paper's nominal workload parameters next to
+/// the statistics measured on an actually generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Configured number of objects.
+    pub objects: usize,
+    /// Configured number of requests.
+    pub requests: usize,
+    /// Configured Zipf skew α.
+    pub zipf_alpha: f64,
+    /// Configured object bit-rate in bytes per second.
+    pub bitrate_bps: f64,
+    /// Measured catalog statistics.
+    pub catalog: CatalogStats,
+    /// Measured trace statistics.
+    pub trace: TraceStats,
+}
+
+impl Table1 {
+    /// Measured total unique object size in gigabytes (paper: ≈ 790 GB at
+    /// full scale).
+    pub fn total_unique_gb(&self) -> f64 {
+        self.catalog.total_bytes / 1e9
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# table1 — Characteristics of the Synthetic Workload")?;
+        writeln!(f, "{:<34} {:>16}", "Number of Objects", self.objects)?;
+        writeln!(
+            f,
+            "{:<34} {:>16}",
+            "Object Popularity",
+            format!("Zipf-like a={}", self.zipf_alpha)
+        )?;
+        writeln!(f, "{:<34} {:>16}", "Number of Requests", self.requests)?;
+        writeln!(f, "{:<34} {:>16}", "Request Arrival Process", "Poisson")?;
+        writeln!(
+            f,
+            "{:<34} {:>16}",
+            "Mean Object Duration (min)",
+            format!("{:.1}", self.catalog.mean_duration_minutes)
+        )?;
+        writeln!(
+            f,
+            "{:<34} {:>16}",
+            "Mean Object Length (frames)",
+            format!("{:.0}", self.catalog.mean_frames)
+        )?;
+        writeln!(
+            f,
+            "{:<34} {:>16}",
+            "Object Bit-rate (KB/s)",
+            format!("{:.0}", self.bitrate_bps / 1_000.0)
+        )?;
+        writeln!(
+            f,
+            "{:<34} {:>16}",
+            "Total Storage (GB)",
+            format!("{:.0}", self.total_unique_gb())
+        )?;
+        writeln!(
+            f,
+            "{:<34} {:>16}",
+            "Top-decile request share",
+            format!("{:.2}", self.trace.top_decile_share)
+        )?;
+        Ok(())
+    }
+}
+
+/// Generates the workload for the given scale and measures its Table-1
+/// statistics.
+///
+/// # Errors
+///
+/// Returns [`SimError::Workload`] if the workload configuration is invalid.
+pub fn table1(scale: ExperimentScale) -> Result<Table1, SimError> {
+    let config = scale.workload();
+    let workload = config
+        .generate()
+        .map_err(|e| SimError::Workload(e.to_string()))?;
+    Ok(Table1 {
+        objects: config.catalog.objects,
+        requests: config.trace.requests,
+        zipf_alpha: config.trace.zipf_alpha,
+        bitrate_bps: config.catalog.bitrate_bps,
+        catalog: workload.catalog_stats(),
+        trace: workload.trace_stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_test_scale_matches_configuration() {
+        let t = table1(ExperimentScale::Test).unwrap();
+        assert_eq!(t.objects, 300);
+        assert_eq!(t.requests, 4_000);
+        assert_eq!(t.catalog.objects, 300);
+        assert_eq!(t.trace.requests, 4_000);
+        assert!((40.0..70.0).contains(&t.catalog.mean_duration_minutes));
+        let rendered = t.to_string();
+        assert!(rendered.contains("Zipf-like"));
+        assert!(rendered.contains("Total Storage"));
+    }
+
+    #[test]
+    fn table1_mean_duration_near_55_minutes() {
+        let t = table1(ExperimentScale::Quick).unwrap();
+        assert!(
+            (48.0..62.0).contains(&t.catalog.mean_duration_minutes),
+            "mean duration {}",
+            t.catalog.mean_duration_minutes
+        );
+        assert!(t.total_unique_gb() > 100.0); // 1,000 objects ≈ 158 GB
+    }
+}

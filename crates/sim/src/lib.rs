@@ -1,0 +1,55 @@
+//! # sc-sim — simulation of network-aware streaming-media caching
+//!
+//! A discrete-event-style simulator of the architecture evaluated in
+//! *Accelerating Internet Streaming Media Delivery using Network-Aware
+//! Partial Caching* (Jin, Bestavros, Iyengar; ICDCS 2002): clients request
+//! CBR streaming objects through an edge cache; each object's origin server
+//! is reached over a path with its own (possibly time-varying) bandwidth;
+//! the cache runs one of the replacement policies from [`sc_cache`]; and
+//! requests are delivered jointly from the cache and the origin.
+//!
+//! The crate provides:
+//!
+//! * [`SimulationConfig`] / [`run_simulation`] / [`run_replicated`] — single
+//!   runs and replicated (seed-averaged) runs;
+//! * [`Metrics`] — the paper's four metrics (traffic-reduction ratio,
+//!   average service delay, average stream quality, total added value);
+//! * [`sweep`] — cache-size, estimator and Zipf-α parameter sweeps;
+//! * [`experiments`] — one driver per table/figure of the paper
+//!   (`table1`, `fig5` … `fig12`), each returning a [`FigureResult`].
+//!
+//! ```
+//! use sc_cache::policy::PolicyKind;
+//! use sc_sim::{run_simulation, SimulationConfig};
+//!
+//! # fn main() -> Result<(), sc_sim::SimError> {
+//! let config = SimulationConfig {
+//!     policy: PolicyKind::PartialBandwidth,
+//!     ..SimulationConfig::small()
+//! }
+//! .with_cache_fraction(0.05);
+//! let result = run_simulation(&config)?;
+//! assert!(result.metrics.traffic_reduction_ratio > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bandwidth;
+mod config;
+mod delivery;
+pub mod experiments;
+mod metrics;
+mod report;
+mod runner;
+pub mod sweep;
+
+pub use bandwidth::BandwidthProvider;
+pub use config::{SimError, SimulationConfig, VariabilityKind};
+pub use delivery::{deliver, DeliveryOutcome};
+pub use metrics::{Metrics, MetricsCollector};
+pub use report::{FigurePoint, FigureResult, FigureSeries};
+pub use runner::{run_comparison, run_replicated, run_simulation, RunResult};

@@ -1,0 +1,180 @@
+//! The performance metrics of Section 3.3 of the paper.
+
+use crate::delivery::DeliveryOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics over the measurement phase of a simulation run.
+///
+/// * **traffic reduction ratio** — fraction of requested bytes served by
+///   the cache;
+/// * **average service delay** — mean startup delay over all requests;
+/// * **average stream quality** — mean achievable quality with immediate
+///   playout;
+/// * **total added value** — summed value of requests that could be played
+///   immediately (Section 2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of requests measured.
+    pub requests: u64,
+    /// Fraction of requested bytes served from the cache.
+    pub traffic_reduction_ratio: f64,
+    /// Mean startup delay in seconds.
+    pub avg_service_delay_secs: f64,
+    /// Mean stream quality in `[0, 1]`.
+    pub avg_stream_quality: f64,
+    /// Total added value (same unit as the per-object values, e.g. dollars).
+    pub total_added_value: f64,
+    /// Fraction of requests that found at least one byte in the cache.
+    pub hit_ratio: f64,
+    /// Fraction of requests that started with zero delay.
+    pub immediate_ratio: f64,
+}
+
+/// Accumulates per-request delivery outcomes into [`Metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsCollector {
+    requests: u64,
+    hits: u64,
+    immediate: u64,
+    bytes_requested: f64,
+    bytes_from_cache: f64,
+    total_delay: f64,
+    total_quality: f64,
+    total_value: f64,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delivered request.
+    pub fn record(&mut self, outcome: &DeliveryOutcome) {
+        self.requests += 1;
+        if outcome.bytes_from_cache > 0.0 {
+            self.hits += 1;
+        }
+        if outcome.service_delay_secs <= 0.0 {
+            self.immediate += 1;
+        }
+        self.bytes_requested += outcome.bytes_from_cache + outcome.bytes_from_origin;
+        self.bytes_from_cache += outcome.bytes_from_cache;
+        self.total_delay += outcome.service_delay_secs;
+        self.total_quality += outcome.stream_quality;
+        self.total_value += outcome.value_added;
+    }
+
+    /// Number of requests recorded so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Finalises the collector into [`Metrics`].
+    pub fn finish(&self) -> Metrics {
+        let n = self.requests as f64;
+        if self.requests == 0 {
+            return Metrics::default();
+        }
+        Metrics {
+            requests: self.requests,
+            traffic_reduction_ratio: if self.bytes_requested > 0.0 {
+                self.bytes_from_cache / self.bytes_requested
+            } else {
+                0.0
+            },
+            avg_service_delay_secs: self.total_delay / n,
+            avg_stream_quality: self.total_quality / n,
+            total_added_value: self.total_value,
+            hit_ratio: self.hits as f64 / n,
+            immediate_ratio: self.immediate as f64 / n,
+        }
+    }
+}
+
+impl Metrics {
+    /// Averages a set of per-run metrics (the paper averages ten runs per
+    /// data point). Returns the default metrics when `runs` is empty.
+    pub fn average(runs: &[Metrics]) -> Metrics {
+        if runs.is_empty() {
+            return Metrics::default();
+        }
+        let n = runs.len() as f64;
+        Metrics {
+            requests: (runs.iter().map(|m| m.requests).sum::<u64>() as f64 / n).round() as u64,
+            traffic_reduction_ratio: runs.iter().map(|m| m.traffic_reduction_ratio).sum::<f64>()
+                / n,
+            avg_service_delay_secs: runs.iter().map(|m| m.avg_service_delay_secs).sum::<f64>() / n,
+            avg_stream_quality: runs.iter().map(|m| m.avg_stream_quality).sum::<f64>() / n,
+            total_added_value: runs.iter().map(|m| m.total_added_value).sum::<f64>() / n,
+            hit_ratio: runs.iter().map(|m| m.hit_ratio).sum::<f64>() / n,
+            immediate_ratio: runs.iter().map(|m| m.immediate_ratio).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(delay: f64, quality: f64, cache: f64, origin: f64, value: f64) -> DeliveryOutcome {
+        DeliveryOutcome {
+            service_delay_secs: delay,
+            stream_quality: quality,
+            bytes_from_cache: cache,
+            bytes_from_origin: origin,
+            value_added: value,
+        }
+    }
+
+    #[test]
+    fn empty_collector_yields_default() {
+        let c = MetricsCollector::new();
+        assert_eq!(c.finish(), Metrics::default());
+        assert_eq!(c.requests(), 0);
+    }
+
+    #[test]
+    fn collector_aggregates() {
+        let mut c = MetricsCollector::new();
+        c.record(&outcome(10.0, 0.5, 0.0, 100.0, 0.0));
+        c.record(&outcome(0.0, 1.0, 50.0, 50.0, 4.0));
+        let m = c.finish();
+        assert_eq!(m.requests, 2);
+        assert!((m.avg_service_delay_secs - 5.0).abs() < 1e-12);
+        assert!((m.avg_stream_quality - 0.75).abs() < 1e-12);
+        assert!((m.traffic_reduction_ratio - 50.0 / 200.0).abs() < 1e-12);
+        assert_eq!(m.total_added_value, 4.0);
+        assert!((m.hit_ratio - 0.5).abs() < 1e-12);
+        assert!((m.immediate_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_runs() {
+        let a = Metrics {
+            requests: 10,
+            traffic_reduction_ratio: 0.2,
+            avg_service_delay_secs: 10.0,
+            avg_stream_quality: 0.9,
+            total_added_value: 100.0,
+            hit_ratio: 0.5,
+            immediate_ratio: 0.6,
+        };
+        let b = Metrics {
+            requests: 20,
+            traffic_reduction_ratio: 0.4,
+            avg_service_delay_secs: 30.0,
+            avg_stream_quality: 0.7,
+            total_added_value: 300.0,
+            hit_ratio: 0.7,
+            immediate_ratio: 0.8,
+        };
+        let avg = Metrics::average(&[a, b]);
+        assert_eq!(avg.requests, 15);
+        assert!((avg.traffic_reduction_ratio - 0.3).abs() < 1e-12);
+        assert!((avg.avg_service_delay_secs - 20.0).abs() < 1e-12);
+        assert!((avg.avg_stream_quality - 0.8).abs() < 1e-12);
+        assert!((avg.total_added_value - 200.0).abs() < 1e-12);
+        assert_eq!(Metrics::average(&[]), Metrics::default());
+    }
+}

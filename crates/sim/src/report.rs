@@ -1,0 +1,145 @@
+//! Structured experiment results and plain-text report formatting.
+
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One measured point of a figure: an x-coordinate (cache fraction,
+/// estimator `e`, Zipf α, …) plus the averaged metrics at that point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FigurePoint {
+    /// The x-axis value.
+    pub x: f64,
+    /// Averaged metrics at this point.
+    pub metrics: Metrics,
+}
+
+/// One curve of a figure (e.g. one caching policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Curve label (usually the policy name).
+    pub label: String,
+    /// Points in increasing x order.
+    pub points: Vec<FigurePoint>,
+}
+
+impl FigureSeries {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        FigureSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, metrics: Metrics) {
+        self.points.push(FigurePoint { x, metrics });
+    }
+}
+
+/// A complete reproduced figure or table: metadata plus one or more series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier, e.g. `"fig5"` or `"table1"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Meaning of the x-axis.
+    pub x_label: String,
+    /// The measured series.
+    pub series: Vec<FigureSeries>,
+}
+
+impl FigureResult {
+    /// Creates an empty figure result.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
+        FigureResult {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&FigureSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the result as an aligned plain-text table, one row per
+    /// (series, x) pair, with one column per metric — the same rows the
+    /// paper plots.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>12} {:>10} {:>14} {:>10}",
+            "series", self.x_label, "traffic", "delay(s)", "quality", "value($)", "hit"
+        );
+        for series in &self.series {
+            for p in &series.points {
+                let m = p.metrics;
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>10.4} {:>10.4} {:>12.2} {:>10.4} {:>14.1} {:>10.4}",
+                    series.label,
+                    p.x,
+                    m.traffic_reduction_ratio,
+                    m.avg_service_delay_secs,
+                    m.avg_stream_quality,
+                    m.total_added_value,
+                    m.hit_ratio
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(traffic: f64, delay: f64) -> Metrics {
+        Metrics {
+            requests: 100,
+            traffic_reduction_ratio: traffic,
+            avg_service_delay_secs: delay,
+            avg_stream_quality: 0.9,
+            total_added_value: 12.0,
+            hit_ratio: 0.4,
+            immediate_ratio: 0.5,
+        }
+    }
+
+    #[test]
+    fn series_and_lookup() {
+        let mut fig = FigureResult::new("fig5", "Policy comparison", "cache fraction");
+        let mut pb = FigureSeries::new("PB");
+        pb.push(0.01, metrics(0.1, 50.0));
+        pb.push(0.05, metrics(0.2, 30.0));
+        fig.series.push(pb);
+        assert!(fig.series("PB").is_some());
+        assert!(fig.series("IF").is_none());
+        assert_eq!(fig.series("PB").unwrap().points.len(), 2);
+    }
+
+    #[test]
+    fn table_rendering_contains_all_rows() {
+        let mut fig = FigureResult::new("fig9", "Estimator sweep", "e");
+        let mut s = FigureSeries::new("PB(e)");
+        s.push(0.2, metrics(0.15, 42.0));
+        fig.series.push(s);
+        let table = fig.to_table();
+        assert!(table.contains("fig9"));
+        assert!(table.contains("PB(e)"));
+        assert!(table.contains("42.00"));
+        assert!(table.lines().count() >= 3);
+    }
+}

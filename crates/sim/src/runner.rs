@@ -1,0 +1,272 @@
+//! The simulation loop and replicated runs.
+
+use crate::bandwidth::BandwidthProvider;
+use crate::config::{SimError, SimulationConfig};
+use crate::delivery::deliver;
+use crate::metrics::{Metrics, MetricsCollector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+use sc_workload::{Catalog, MediaObject, RequestTrace};
+use serde::{Deserialize, Serialize};
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Metrics collected over the measurement (post-warm-up) phase.
+    pub metrics: Metrics,
+    /// Number of warm-up requests that were excluded from the metrics.
+    pub warmup_requests: u64,
+    /// Bytes held in the cache at the end of the run.
+    pub final_cache_used_bytes: f64,
+    /// Number of distinct objects (fully or partially) cached at the end.
+    pub final_cached_objects: usize,
+}
+
+/// Converts a workload [`MediaObject`] into the cache's [`ObjectMeta`].
+fn to_meta(obj: &MediaObject) -> ObjectMeta {
+    ObjectMeta::new(
+        ObjectKey::new(obj.id.index() as u64),
+        obj.duration_secs,
+        obj.bitrate_bps,
+        obj.value,
+    )
+}
+
+/// Runs one simulation with the given seed offset, reusing a pre-generated
+/// workload when provided (so that policy comparisons see identical
+/// request streams).
+fn run_once(
+    config: &SimulationConfig,
+    seed: u64,
+    prebuilt: Option<(&Catalog, &RequestTrace)>,
+) -> Result<RunResult, SimError> {
+    config.validate()?;
+    let generated;
+    let (catalog, trace) = match prebuilt {
+        Some((c, t)) => (c, t),
+        None => {
+            let mut wl_config = config.workload;
+            wl_config.seed = seed;
+            generated = wl_config
+                .generate()
+                .map_err(|e| SimError::Workload(e.to_string()))?;
+            (&generated.catalog, &generated.trace)
+        }
+    };
+
+    // Bandwidth state and the per-request variability stream use a seed
+    // derived from the run seed but decoupled from workload generation.
+    let mut bw_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let provider = BandwidthProvider::generate(catalog.len(), config.variability, &mut bw_rng);
+
+    let mut cache = CacheEngine::new(config.cache_size_bytes, config.policy.build())
+        .map_err(|e| SimError::Workload(e.to_string()))?;
+
+    let warmup_len = ((trace.len() as f64) * config.warmup_fraction).round() as usize;
+    let mut collector = MetricsCollector::new();
+
+    for (i, request) in trace.iter().enumerate() {
+        let obj = catalog.object(request.object);
+        let meta = to_meta(obj);
+        let index = obj.id.index();
+        let estimated = provider.estimated_bps(index);
+        let instantaneous = provider.instantaneous_bps(index, &mut bw_rng);
+
+        // The caching algorithm sees the measured (average) bandwidth; the
+        // actual transfer experiences the instantaneous bandwidth.
+        let outcome = cache.on_access(&meta, estimated);
+
+        if i >= warmup_len {
+            let delivery = deliver(&meta, outcome.cached_bytes_before, instantaneous);
+            collector.record(&delivery);
+        }
+    }
+
+    Ok(RunResult {
+        metrics: collector.finish(),
+        warmup_requests: warmup_len as u64,
+        final_cache_used_bytes: cache.used_bytes(),
+        final_cached_objects: cache.len(),
+    })
+}
+
+/// Runs a single simulation described by `config`.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the configuration is invalid.
+pub fn run_simulation(config: &SimulationConfig) -> Result<RunResult, SimError> {
+    run_once(config, config.seed, None)
+}
+
+/// Runs `runs` replicated simulations (seeds `seed`, `seed + 1`, …) and
+/// averages their metrics, mirroring the paper's practice of averaging ten
+/// runs per data point.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRuns`] when `runs` is zero, or any validation
+/// error of the underlying configuration.
+pub fn run_replicated(config: &SimulationConfig, runs: usize) -> Result<Metrics, SimError> {
+    if runs == 0 {
+        return Err(SimError::NoRuns);
+    }
+    let mut all = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let result = run_once(config, config.seed + r as u64, None)?;
+        all.push(result.metrics);
+    }
+    Ok(Metrics::average(&all))
+}
+
+/// Runs the same pre-generated workload through several policies, so the
+/// comparison is paired (identical request streams and path bandwidths per
+/// seed). Returns one averaged [`Metrics`] per configuration, in order.
+///
+/// All configurations must share the same workload parameters; only policy,
+/// cache size and variability may differ.
+///
+/// # Errors
+///
+/// Propagates validation errors; returns [`SimError::NoRuns`] when `runs`
+/// is zero.
+pub fn run_comparison(
+    configs: &[SimulationConfig],
+    runs: usize,
+) -> Result<Vec<Metrics>, SimError> {
+    if runs == 0 {
+        return Err(SimError::NoRuns);
+    }
+    let mut per_config: Vec<Vec<Metrics>> = vec![Vec::with_capacity(runs); configs.len()];
+    for r in 0..runs {
+        for (ci, config) in configs.iter().enumerate() {
+            let seed = config.seed + r as u64;
+            // Workload is regenerated per seed; identical workload
+            // parameters + identical seed ⇒ identical trace across configs.
+            let result = run_once(config, seed, None)?;
+            per_config[ci].push(result.metrics);
+        }
+    }
+    Ok(per_config.iter().map(|m| Metrics::average(m)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariabilityKind;
+    use sc_cache::policy::PolicyKind;
+
+    fn small(policy: PolicyKind, cache_fraction: f64) -> SimulationConfig {
+        SimulationConfig {
+            policy,
+            ..SimulationConfig::small()
+        }
+        .with_cache_fraction(cache_fraction)
+    }
+
+    #[test]
+    fn simulation_runs_and_uses_cache() {
+        let cfg = small(PolicyKind::PartialBandwidth, 0.05);
+        let result = run_simulation(&cfg).unwrap();
+        assert_eq!(result.metrics.requests, 2_500);
+        assert!(result.final_cache_used_bytes > 0.0);
+        assert!(result.final_cached_objects > 0);
+        assert!(result.metrics.traffic_reduction_ratio > 0.0);
+        assert!(result.metrics.avg_stream_quality > 0.0);
+        assert!(result.metrics.avg_stream_quality <= 1.0);
+    }
+
+    #[test]
+    fn zero_cache_size_yields_no_traffic_reduction() {
+        let mut cfg = small(PolicyKind::PartialBandwidth, 0.0);
+        cfg.cache_size_bytes = 0.0;
+        let result = run_simulation(&cfg).unwrap();
+        assert_eq!(result.metrics.traffic_reduction_ratio, 0.0);
+        assert_eq!(result.final_cached_objects, 0);
+        // Even with no cache, some requests enjoy abundant bandwidth.
+        assert!(result.metrics.immediate_ratio > 0.0);
+    }
+
+    #[test]
+    fn bigger_caches_do_not_hurt() {
+        let small_cache = run_replicated(&small(PolicyKind::PartialBandwidth, 0.01), 2).unwrap();
+        let big_cache = run_replicated(&small(PolicyKind::PartialBandwidth, 0.15), 2).unwrap();
+        assert!(big_cache.traffic_reduction_ratio >= small_cache.traffic_reduction_ratio);
+        assert!(big_cache.avg_service_delay_secs <= small_cache.avg_service_delay_secs + 1e-6);
+        assert!(big_cache.avg_stream_quality + 1e-9 >= small_cache.avg_stream_quality);
+    }
+
+    #[test]
+    fn caching_improves_over_no_cache() {
+        let mut no_cache_cfg = small(PolicyKind::PartialBandwidth, 0.0);
+        no_cache_cfg.cache_size_bytes = 0.0;
+        let no_cache = run_simulation(&no_cache_cfg).unwrap().metrics;
+        let with_cache = run_simulation(&small(PolicyKind::PartialBandwidth, 0.1))
+            .unwrap()
+            .metrics;
+        assert!(with_cache.avg_service_delay_secs < no_cache.avg_service_delay_secs);
+        assert!(with_cache.avg_stream_quality > no_cache.avg_stream_quality);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let cfg = small(PolicyKind::IntegralBandwidth, 0.05);
+        let a = run_simulation(&cfg).unwrap();
+        let b = run_simulation(&cfg).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn replication_requires_at_least_one_run() {
+        let cfg = small(PolicyKind::PartialBandwidth, 0.05);
+        assert!(matches!(run_replicated(&cfg, 0), Err(SimError::NoRuns)));
+        assert!(matches!(
+            run_comparison(&[cfg], 0),
+            Err(SimError::NoRuns)
+        ));
+    }
+
+    #[test]
+    fn comparison_runs_all_policies_on_same_workload() {
+        let configs = vec![
+            small(PolicyKind::IntegralFrequency, 0.05),
+            small(PolicyKind::PartialBandwidth, 0.05),
+            small(PolicyKind::IntegralBandwidth, 0.05),
+        ];
+        let metrics = run_comparison(&configs, 1).unwrap();
+        assert_eq!(metrics.len(), 3);
+        // Under constant bandwidth, PB should not have higher average delay
+        // than IF (the paper's headline qualitative result).
+        let if_delay = metrics[0].avg_service_delay_secs;
+        let pb_delay = metrics[1].avg_service_delay_secs;
+        assert!(
+            pb_delay <= if_delay + 1e-6,
+            "PB delay {pb_delay} vs IF delay {if_delay}"
+        );
+        // IF should achieve at least as much traffic reduction as PB.
+        assert!(
+            metrics[0].traffic_reduction_ratio >= metrics[1].traffic_reduction_ratio - 0.02,
+            "IF {} vs PB {}",
+            metrics[0].traffic_reduction_ratio,
+            metrics[1].traffic_reduction_ratio
+        );
+    }
+
+    #[test]
+    fn variable_bandwidth_increases_delay() {
+        let constant = run_replicated(&small(PolicyKind::PartialBandwidth, 0.05), 2).unwrap();
+        let variable_cfg = SimulationConfig {
+            variability: VariabilityKind::NlanrLike,
+            ..small(PolicyKind::PartialBandwidth, 0.05)
+        };
+        let variable = run_replicated(&variable_cfg, 2).unwrap();
+        assert!(
+            variable.avg_service_delay_secs > constant.avg_service_delay_secs,
+            "variable {} vs constant {}",
+            variable.avg_service_delay_secs,
+            constant.avg_service_delay_secs
+        );
+        assert!(variable.avg_stream_quality <= constant.avg_stream_quality + 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! Parameter sweeps used by the experiment drivers.
+
+use crate::config::{SimError, SimulationConfig};
+use crate::metrics::Metrics;
+use crate::report::FigureSeries;
+use crate::runner::run_replicated;
+use sc_cache::policy::PolicyKind;
+
+/// The cache sizes used across the paper's figures, expressed as fractions
+/// of the total unique object size (4 GB ≈ 0.5 % up to 128 GB ≈ 16.9 % of
+/// 790 GB — paper Section 3.2).
+pub const PAPER_CACHE_FRACTIONS: [f64; 6] = [0.005, 0.01, 0.02, 0.04, 0.08, 0.169];
+
+/// A reduced set of cache fractions for quick runs and tests.
+pub const QUICK_CACHE_FRACTIONS: [f64; 3] = [0.01, 0.05, 0.169];
+
+/// Sweeps the cache size for one policy, holding everything else fixed.
+///
+/// Returns one [`FigureSeries`] labelled with the policy name, with the
+/// cache fraction on the x-axis.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_cache_size(
+    base: &SimulationConfig,
+    policy: PolicyKind,
+    fractions: &[f64],
+    runs: usize,
+) -> Result<FigureSeries, SimError> {
+    let mut series = FigureSeries::new(policy.label());
+    for &fraction in fractions {
+        let config = SimulationConfig {
+            policy,
+            ..*base
+        }
+        .with_cache_fraction(fraction);
+        let metrics = run_replicated(&config, runs)?;
+        series.push(fraction, metrics);
+    }
+    Ok(series)
+}
+
+/// Sweeps the cache size for several policies.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_policies(
+    base: &SimulationConfig,
+    policies: &[PolicyKind],
+    fractions: &[f64],
+    runs: usize,
+) -> Result<Vec<FigureSeries>, SimError> {
+    policies
+        .iter()
+        .map(|&p| sweep_cache_size(base, p, fractions, runs))
+        .collect()
+}
+
+/// Sweeps the conservative estimator `e` of the hybrid PB(e) policy at a
+/// fixed cache size. Returns `(e, metrics)` pairs.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_estimator(
+    base: &SimulationConfig,
+    cache_fraction: f64,
+    estimators: &[f64],
+    value_based: bool,
+    runs: usize,
+) -> Result<Vec<(f64, Metrics)>, SimError> {
+    let mut out = Vec::with_capacity(estimators.len());
+    for &e in estimators {
+        let policy = if value_based {
+            PolicyKind::PartialBandwidthValue { e }
+        } else {
+            PolicyKind::HybridPartialBandwidth { e }
+        };
+        let config = SimulationConfig {
+            policy,
+            ..*base
+        }
+        .with_cache_fraction(cache_fraction);
+        out.push((e, run_replicated(&config, runs)?));
+    }
+    Ok(out)
+}
+
+/// Sweeps the Zipf skew parameter α for one policy at a fixed cache size.
+/// Returns `(alpha, metrics)` pairs.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_zipf_alpha(
+    base: &SimulationConfig,
+    policy: PolicyKind,
+    cache_fraction: f64,
+    alphas: &[f64],
+    runs: usize,
+) -> Result<Vec<(f64, Metrics)>, SimError> {
+    let mut out = Vec::with_capacity(alphas.len());
+    for &alpha in alphas {
+        let mut config = SimulationConfig {
+            policy,
+            ..*base
+        }
+        .with_cache_fraction(cache_fraction);
+        config.workload.trace.zipf_alpha = alpha;
+        out.push((alpha, run_replicated(&config, runs)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimulationConfig {
+        SimulationConfig::small()
+    }
+
+    #[test]
+    fn cache_size_sweep_is_monotone_in_traffic_reduction() {
+        let series =
+            sweep_cache_size(&base(), PolicyKind::IntegralFrequency, &[0.01, 0.1], 1).unwrap();
+        assert_eq!(series.points.len(), 2);
+        assert!(
+            series.points[1].metrics.traffic_reduction_ratio
+                >= series.points[0].metrics.traffic_reduction_ratio
+        );
+        assert_eq!(series.label, "IF");
+    }
+
+    #[test]
+    fn policy_sweep_produces_one_series_per_policy() {
+        let series = sweep_policies(
+            &base(),
+            &[PolicyKind::PartialBandwidth, PolicyKind::IntegralBandwidth],
+            &[0.05],
+            1,
+        )
+        .unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label, "PB");
+        assert_eq!(series[1].label, "IB");
+    }
+
+    #[test]
+    fn estimator_sweep_spans_ib_to_pb() {
+        let points = sweep_estimator(&base(), 0.05, &[0.0, 1.0], false, 1).unwrap();
+        assert_eq!(points.len(), 2);
+        // e = 0 caches whole objects: higher traffic reduction than e = 1.
+        assert!(
+            points[0].1.traffic_reduction_ratio >= points[1].1.traffic_reduction_ratio - 0.02,
+            "e=0 {} vs e=1 {}",
+            points[0].1.traffic_reduction_ratio,
+            points[1].1.traffic_reduction_ratio
+        );
+    }
+
+    #[test]
+    fn zipf_sweep_gains_from_locality() {
+        let points = sweep_zipf_alpha(
+            &base(),
+            PolicyKind::PartialBandwidth,
+            0.05,
+            &[0.5, 1.2],
+            1,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        // Stronger locality (higher alpha) should not reduce traffic savings.
+        assert!(
+            points[1].1.traffic_reduction_ratio >= points[0].1.traffic_reduction_ratio - 0.02
+        );
+    }
+}

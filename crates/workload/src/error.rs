@@ -1,0 +1,60 @@
+//! Error type for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when a workload configuration is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The requested number of objects was zero.
+    EmptyCatalog,
+    /// The requested number of requests was zero.
+    EmptyTrace,
+    /// The Zipf-like skew parameter was not finite or was negative.
+    InvalidZipfAlpha(f64),
+    /// A distribution parameter was out of range (name, offending value).
+    InvalidParameter(&'static str, f64),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EmptyCatalog => write!(f, "catalog must contain at least one object"),
+            WorkloadError::EmptyTrace => write!(f, "trace must contain at least one request"),
+            WorkloadError::InvalidZipfAlpha(a) => {
+                write!(f, "zipf alpha must be finite and non-negative, got {a}")
+            }
+            WorkloadError::InvalidParameter(name, v) => {
+                write!(f, "invalid value for parameter `{name}`: {v}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases = [
+            WorkloadError::EmptyCatalog,
+            WorkloadError::EmptyTrace,
+            WorkloadError::InvalidZipfAlpha(-1.0),
+            WorkloadError::InvalidParameter("sigma", f64::NAN),
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<WorkloadError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Streaming-media object descriptors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a streaming media object within a catalog.
+///
+/// Object ids are dense indices `0..N` assigned in popularity-rank order:
+/// object `0` is the most popular object under the catalog's Zipf-like
+/// popularity profile.
+///
+/// ```
+/// use sc_workload::ObjectId;
+/// let id = ObjectId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(format!("{id}"), "obj#7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(u32);
+
+impl ObjectId {
+    /// Creates an object id from a dense catalog index.
+    pub fn new(index: u32) -> Self {
+        ObjectId(index)
+    }
+
+    /// Returns the dense catalog index of this object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// Static description of a constant-bit-rate (CBR) streaming media object.
+///
+/// The paper assumes CBR encodings (VBR objects are assumed to be smoothed
+/// with the optimal-smoothing technique of Salehi et al.), so an object is
+/// fully described by its duration, bit-rate, and an optional monetary value
+/// used by the value-based caching objective of Section 2.6.
+///
+/// ```
+/// use sc_workload::{MediaObject, ObjectId};
+///
+/// // A 10-minute clip encoded at 48 KB/s, worth $4.
+/// let obj = MediaObject::new(ObjectId::new(0), 600.0, 48_000.0, 4.0);
+/// assert_eq!(obj.size_bytes(), 600.0 * 48_000.0);
+/// assert!((obj.duration_minutes() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MediaObject {
+    /// Identifier of the object (dense, popularity-rank ordered).
+    pub id: ObjectId,
+    /// Playback duration in seconds (`T_i` in the paper).
+    pub duration_secs: f64,
+    /// CBR encoding rate in bytes per second (`r_i` in the paper).
+    pub bitrate_bps: f64,
+    /// Monetary value of a successful immediate playout (`V_i`, Section 2.6).
+    pub value: f64,
+}
+
+impl MediaObject {
+    /// Creates a new media object description.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions only) if `duration_secs` or `bitrate_bps`
+    /// is not strictly positive, or if `value` is negative.
+    pub fn new(id: ObjectId, duration_secs: f64, bitrate_bps: f64, value: f64) -> Self {
+        debug_assert!(duration_secs > 0.0, "duration must be positive");
+        debug_assert!(bitrate_bps > 0.0, "bitrate must be positive");
+        debug_assert!(value >= 0.0, "value must be non-negative");
+        MediaObject {
+            id,
+            duration_secs,
+            bitrate_bps,
+            value,
+        }
+    }
+
+    /// Total object size in bytes (`T_i · r_i`).
+    pub fn size_bytes(&self) -> f64 {
+        self.duration_secs * self.bitrate_bps
+    }
+
+    /// Playback duration expressed in minutes.
+    pub fn duration_minutes(&self) -> f64 {
+        self.duration_secs / 60.0
+    }
+
+    /// Number of video frames assuming the given frame rate.
+    ///
+    /// The paper's workload assumes 24 frames per second and reports an
+    /// average object length of roughly 79 K frames.
+    pub fn frames(&self, frames_per_sec: f64) -> f64 {
+        self.duration_secs * frames_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_roundtrip() {
+        let id = ObjectId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(ObjectId::from(42u32), id);
+    }
+
+    #[test]
+    fn object_id_ordering_follows_index() {
+        assert!(ObjectId::new(1) < ObjectId::new(2));
+        assert_eq!(ObjectId::new(3), ObjectId::new(3));
+    }
+
+    #[test]
+    fn media_object_size_is_duration_times_rate() {
+        let obj = MediaObject::new(ObjectId::new(0), 120.0, 48_000.0, 1.0);
+        assert_eq!(obj.size_bytes(), 120.0 * 48_000.0);
+        assert!((obj.duration_minutes() - 2.0).abs() < 1e-12);
+        assert!((obj.frames(24.0) - 2880.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ObjectId::new(5).to_string(), "obj#5");
+    }
+}

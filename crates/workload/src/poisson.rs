@@ -1,0 +1,141 @@
+//! Poisson request-arrival process.
+
+use crate::WorkloadError;
+use rand::Rng;
+
+/// A homogeneous Poisson arrival process with a given mean rate.
+///
+/// Inter-arrival times are i.i.d. exponential with mean `1 / rate`. The
+/// paper generates 100,000 request arrivals from a Poisson process
+/// (Section 3.2, Table 1); the absolute rate only sets the time axis and
+/// does not change any of the caching metrics, so callers typically pick a
+/// rate that makes the trace span a convenient number of simulated hours.
+///
+/// ```
+/// use sc_workload::PoissonProcess;
+/// use rand::SeedableRng;
+///
+/// let process = PoissonProcess::new(2.0)?; // 2 requests per second
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let times = process.arrival_times(&mut rng, 100);
+/// assert_eq!(times.len(), 100);
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]));
+/// # Ok::<(), sc_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with `rate` arrivals per unit time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `rate` is not finite
+    /// or not strictly positive.
+    pub fn new(rate: f64) -> Result<Self, WorkloadError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(WorkloadError::InvalidParameter("rate", rate));
+        }
+        Ok(PoissonProcess { rate })
+    }
+
+    /// The arrival rate (arrivals per unit time).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean inter-arrival time `1 / rate`.
+    pub fn mean_interarrival(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws a single exponential inter-arrival time.
+    pub fn interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-transform sampling of Exp(rate); guard against ln(0).
+        let u: f64 = loop {
+            let v: f64 = rng.gen();
+            if v > f64::MIN_POSITIVE {
+                break v;
+            }
+        };
+        -u.ln() / self.rate
+    }
+
+    /// Generates `n` cumulative arrival times starting at time zero.
+    ///
+    /// The returned vector is non-decreasing and has length `n`.
+    pub fn arrival_times<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        let mut times = Vec::with_capacity(n);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += self.interarrival(rng);
+            times.push(t);
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_non_positive_rate() {
+        assert!(matches!(
+            PoissonProcess::new(0.0),
+            Err(WorkloadError::InvalidParameter("rate", _))
+        ));
+        assert!(matches!(
+            PoissonProcess::new(-3.0),
+            Err(WorkloadError::InvalidParameter("rate", _))
+        ));
+        assert!(matches!(
+            PoissonProcess::new(f64::NAN),
+            Err(WorkloadError::InvalidParameter("rate", _))
+        ));
+    }
+
+    #[test]
+    fn mean_interarrival_is_inverse_rate() {
+        let p = PoissonProcess::new(4.0).unwrap();
+        assert!((p.mean_interarrival() - 0.25).abs() < 1e-12);
+        assert_eq!(p.rate(), 4.0);
+    }
+
+    #[test]
+    fn arrival_times_are_sorted_and_positive() {
+        let p = PoissonProcess::new(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let times = p.arrival_times(&mut rng, 1000);
+        assert_eq!(times.len(), 1000);
+        assert!(times[0] > 0.0);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let p = PoissonProcess::new(5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let times = p.arrival_times(&mut rng, n);
+        let span = *times.last().unwrap();
+        let empirical_rate = n as f64 / span;
+        assert!(
+            (empirical_rate - 5.0).abs() < 0.1,
+            "empirical rate {empirical_rate}"
+        );
+    }
+
+    #[test]
+    fn interarrival_mean_matches() {
+        let p = PoissonProcess::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| p.interarrival(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean interarrival {mean}");
+    }
+}

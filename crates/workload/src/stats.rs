@@ -1,0 +1,176 @@
+//! Summary statistics of catalogs and traces (used to validate Table 1).
+
+use crate::catalog::Catalog;
+use crate::trace::RequestTrace;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an object catalog.
+///
+/// ```
+/// use sc_workload::{Catalog, CatalogConfig, CatalogStats};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let catalog = Catalog::generate(&CatalogConfig::small(), &mut rng)?;
+/// let stats = CatalogStats::compute(&catalog);
+/// assert_eq!(stats.objects, 500);
+/// assert!(stats.mean_duration_minutes > 40.0);
+/// # Ok::<(), sc_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogStats {
+    /// Number of unique objects.
+    pub objects: usize,
+    /// Total unique bytes across all objects.
+    pub total_bytes: f64,
+    /// Mean object duration in minutes.
+    pub mean_duration_minutes: f64,
+    /// Mean object size in bytes.
+    pub mean_size_bytes: f64,
+    /// Mean number of frames per object at 24 frames/s.
+    pub mean_frames: f64,
+    /// Minimum object duration in minutes.
+    pub min_duration_minutes: f64,
+    /// Maximum object duration in minutes.
+    pub max_duration_minutes: f64,
+    /// Mean object value (dollars).
+    pub mean_value: f64,
+}
+
+impl CatalogStats {
+    /// Computes statistics over a catalog.
+    pub fn compute(catalog: &Catalog) -> Self {
+        let n = catalog.len() as f64;
+        let total_bytes = catalog.total_bytes();
+        let mean_duration_secs = catalog.mean_duration_secs();
+        let mut min_d = f64::INFINITY;
+        let mut max_d = f64::NEG_INFINITY;
+        let mut value_sum = 0.0;
+        for obj in catalog {
+            min_d = min_d.min(obj.duration_secs);
+            max_d = max_d.max(obj.duration_secs);
+            value_sum += obj.value;
+        }
+        CatalogStats {
+            objects: catalog.len(),
+            total_bytes,
+            mean_duration_minutes: mean_duration_secs / 60.0,
+            mean_size_bytes: total_bytes / n,
+            mean_frames: mean_duration_secs * 24.0,
+            min_duration_minutes: min_d / 60.0,
+            max_duration_minutes: max_d / 60.0,
+            mean_value: value_sum / n,
+        }
+    }
+
+    /// Total unique bytes expressed in gigabytes (10^9 bytes).
+    pub fn total_gigabytes(&self) -> f64 {
+        self.total_bytes / 1e9
+    }
+}
+
+/// Summary statistics of a request trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Number of distinct objects referenced at least once.
+    pub distinct_objects: usize,
+    /// Time span between first and last request, in seconds.
+    pub span_secs: f64,
+    /// Mean request inter-arrival time in seconds.
+    pub mean_interarrival_secs: f64,
+    /// Fraction of requests that target the 10% most popular object ids.
+    pub top_decile_share: f64,
+    /// Total bytes requested (sum of the size of every requested object).
+    pub total_requested_bytes: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics of `trace` over `catalog`.
+    pub fn compute(catalog: &Catalog, trace: &RequestTrace) -> Self {
+        let counts = trace.request_counts(catalog.len());
+        let distinct = counts.iter().filter(|c| **c > 0).count();
+        let decile = (catalog.len() / 10).max(1);
+        let head: u64 = counts[..decile].iter().sum();
+        let total: u64 = counts.iter().sum();
+        let total_requested_bytes: f64 = trace
+            .iter()
+            .map(|r| catalog.object(r.object).size_bytes())
+            .sum();
+        let n = trace.len();
+        TraceStats {
+            requests: n,
+            distinct_objects: distinct,
+            span_secs: trace.span_secs(),
+            mean_interarrival_secs: if n > 1 {
+                trace.span_secs() / (n as f64 - 1.0)
+            } else {
+                0.0
+            },
+            top_decile_share: if total > 0 {
+                head as f64 / total as f64
+            } else {
+                0.0
+            },
+            total_requested_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::trace::TraceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Catalog, RequestTrace) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let catalog = Catalog::generate(&CatalogConfig::small(), &mut rng).unwrap();
+        let trace = RequestTrace::generate(&catalog, &TraceConfig::small(), &mut rng).unwrap();
+        (catalog, trace)
+    }
+
+    #[test]
+    fn catalog_stats_match_paper_shape() {
+        let (catalog, _) = setup();
+        let stats = CatalogStats::compute(&catalog);
+        assert_eq!(stats.objects, 500);
+        // Mean duration ~55 minutes, mean frames ~79K (paper Section 3.2).
+        assert!(
+            (45.0..65.0).contains(&stats.mean_duration_minutes),
+            "mean duration {}",
+            stats.mean_duration_minutes
+        );
+        assert!(
+            (65_000.0..95_000.0).contains(&stats.mean_frames),
+            "mean frames {}",
+            stats.mean_frames
+        );
+        assert!(stats.min_duration_minutes > 0.0);
+        assert!(stats.max_duration_minutes > stats.min_duration_minutes);
+        assert!((1.0..=10.0).contains(&stats.mean_value));
+        assert!(stats.total_gigabytes() > 10.0);
+    }
+
+    #[test]
+    fn trace_stats_counts_and_skew() {
+        let (catalog, trace) = setup();
+        let stats = TraceStats::compute(&catalog, &trace);
+        assert_eq!(stats.requests, 5_000);
+        assert!(stats.distinct_objects <= 500);
+        assert!(stats.distinct_objects > 100);
+        assert!(stats.span_secs > 0.0);
+        assert!(stats.mean_interarrival_secs > 0.0);
+        // Zipf 0.73 over 500 objects: the top decile draws well over 10% of
+        // requests.
+        assert!(
+            stats.top_decile_share > 0.2,
+            "top decile share {}",
+            stats.top_decile_share
+        );
+        assert!(stats.total_requested_bytes > 0.0);
+    }
+}

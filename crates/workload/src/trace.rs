@@ -1,0 +1,313 @@
+//! Request traces: who asks for what, and when.
+
+use crate::catalog::Catalog;
+use crate::object::ObjectId;
+use crate::poisson::PoissonProcess;
+use crate::zipf::ZipfLike;
+use crate::WorkloadError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single client request for a streaming media object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time in seconds since the start of the trace.
+    pub time_secs: f64,
+    /// The requested object.
+    pub object: ObjectId,
+}
+
+/// Configuration of the request-trace generator.
+///
+/// Defaults match Table 1 of the paper: 100,000 Poisson-arriving requests
+/// whose target objects follow a Zipf-like distribution with α = 0.73.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Zipf-like popularity skew.
+    pub zipf_alpha: f64,
+    /// Mean request arrival rate (requests per second).
+    pub arrival_rate: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            requests: 100_000,
+            zipf_alpha: 0.73,
+            // 100,000 requests at 1 request/second spans a bit over a day,
+            // matching the multi-hour horizon of the paper's experiments.
+            arrival_rate: 1.0,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The paper's Table 1 configuration.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A reduced configuration for tests and examples (5,000 requests).
+    pub fn small() -> Self {
+        TraceConfig {
+            requests: 5_000,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] when the request count is zero or a
+    /// distribution parameter is out of range.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.requests == 0 {
+            return Err(WorkloadError::EmptyTrace);
+        }
+        if !self.zipf_alpha.is_finite() || self.zipf_alpha < 0.0 {
+            return Err(WorkloadError::InvalidZipfAlpha(self.zipf_alpha));
+        }
+        PoissonProcess::new(self.arrival_rate)?;
+        Ok(())
+    }
+}
+
+/// A time-ordered sequence of requests over a catalog.
+///
+/// ```
+/// use sc_workload::{Catalog, CatalogConfig, RequestTrace, TraceConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let catalog = Catalog::generate(&CatalogConfig::small(), &mut rng)?;
+/// let trace = RequestTrace::generate(&catalog, &TraceConfig::small(), &mut rng)?;
+/// assert_eq!(trace.len(), 5_000);
+/// // Requests are sorted by arrival time.
+/// assert!(trace.requests().windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+/// # Ok::<(), sc_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    requests: Vec<Request>,
+}
+
+impl RequestTrace {
+    /// Builds a trace from an explicit request list.
+    ///
+    /// The requests are sorted by arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::EmptyTrace`] if `requests` is empty.
+    pub fn from_requests(mut requests: Vec<Request>) -> Result<Self, WorkloadError> {
+        if requests.is_empty() {
+            return Err(WorkloadError::EmptyTrace);
+        }
+        requests.sort_by(|a, b| {
+            a.time_secs
+                .partial_cmp(&b.time_secs)
+                .expect("request times are never NaN")
+        });
+        Ok(RequestTrace { requests })
+    }
+
+    /// Generates a synthetic trace over `catalog` according to `config`.
+    ///
+    /// Popularity rank `r` (1-based, drawn from the Zipf-like distribution)
+    /// maps to the object with id `r - 1`, so object ids are ordered by
+    /// decreasing expected popularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] if the configuration fails validation.
+    pub fn generate<R: Rng + ?Sized>(
+        catalog: &Catalog,
+        config: &TraceConfig,
+        rng: &mut R,
+    ) -> Result<Self, WorkloadError> {
+        config.validate()?;
+        let zipf = ZipfLike::new(catalog.len(), config.zipf_alpha)?;
+        let arrivals = PoissonProcess::new(config.arrival_rate)?;
+        let times = arrivals.arrival_times(rng, config.requests);
+        let mut requests = Vec::with_capacity(config.requests);
+        for t in times {
+            let rank = zipf.sample(rng);
+            requests.push(Request {
+                time_secs: t,
+                object: ObjectId::new((rank - 1) as u32),
+            });
+        }
+        Ok(RequestTrace { requests })
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` if the trace contains no requests (never the case for
+    /// a successfully constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests, sorted by arrival time.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Iterates over the requests in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+
+    /// Duration in seconds between the first and last request.
+    pub fn span_secs(&self) -> f64 {
+        let first = self.requests.first().map(|r| r.time_secs).unwrap_or(0.0);
+        let last = self.requests.last().map(|r| r.time_secs).unwrap_or(0.0);
+        last - first
+    }
+
+    /// Per-object request counts, indexed by object id.
+    pub fn request_counts(&self, catalog_len: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; catalog_len];
+        for req in &self.requests {
+            if let Some(c) = counts.get_mut(req.object.index()) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+
+    /// Splits the trace into a warm-up prefix and a measurement suffix.
+    ///
+    /// The paper warms the cache with the first half of the workload and
+    /// computes metrics over the second half (`fraction = 0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1]`.
+    pub fn split_at_fraction(&self, fraction: f64) -> (&[Request], &[Request]) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let idx = ((self.requests.len() as f64) * fraction).round() as usize;
+        self.requests.split_at(idx.min(self.requests.len()))
+    }
+}
+
+impl<'a> IntoIterator for &'a RequestTrace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_setup() -> (Catalog, RequestTrace) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let catalog = Catalog::generate(&CatalogConfig::small(), &mut rng).unwrap();
+        let trace = RequestTrace::generate(&catalog, &TraceConfig::small(), &mut rng).unwrap();
+        (catalog, trace)
+    }
+
+    #[test]
+    fn default_config_matches_table1() {
+        let c = TraceConfig::default();
+        assert_eq!(c.requests, 100_000);
+        assert_eq!(c.zipf_alpha, 0.73);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = TraceConfig::small();
+        c.requests = 0;
+        assert!(matches!(c.validate(), Err(WorkloadError::EmptyTrace)));
+        let mut c = TraceConfig::small();
+        c.zipf_alpha = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = TraceConfig::small();
+        c.arrival_rate = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn generated_trace_is_sorted_and_in_range() {
+        let (catalog, trace) = small_setup();
+        assert_eq!(trace.len(), 5_000);
+        assert!(trace
+            .requests()
+            .windows(2)
+            .all(|w| w[0].time_secs <= w[1].time_secs));
+        assert!(trace
+            .iter()
+            .all(|r| r.object.index() < catalog.len()));
+    }
+
+    #[test]
+    fn popular_objects_receive_more_requests() {
+        let (catalog, trace) = small_setup();
+        let counts = trace.request_counts(catalog.len());
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[catalog.len() - 10..].iter().sum();
+        assert!(
+            head > tail * 3,
+            "expected strong popularity skew, head {head} tail {tail}"
+        );
+    }
+
+    #[test]
+    fn split_at_fraction_halves() {
+        let (_, trace) = small_setup();
+        let (warm, measure) = trace.split_at_fraction(0.5);
+        assert_eq!(warm.len(), 2_500);
+        assert_eq!(measure.len(), 2_500);
+        let (all, none) = trace.split_at_fraction(1.0);
+        assert_eq!(all.len(), 5_000);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn split_at_fraction_rejects_out_of_range() {
+        let (_, trace) = small_setup();
+        let _ = trace.split_at_fraction(1.5);
+    }
+
+    #[test]
+    fn from_requests_sorts_by_time() {
+        let reqs = vec![
+            Request {
+                time_secs: 5.0,
+                object: ObjectId::new(1),
+            },
+            Request {
+                time_secs: 1.0,
+                object: ObjectId::new(0),
+            },
+        ];
+        let trace = RequestTrace::from_requests(reqs).unwrap();
+        assert_eq!(trace.requests()[0].object, ObjectId::new(0));
+        assert!((trace.span_secs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_requests_rejects_empty() {
+        assert!(matches!(
+            RequestTrace::from_requests(vec![]),
+            Err(WorkloadError::EmptyTrace)
+        ));
+    }
+}

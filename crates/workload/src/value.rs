@@ -1,0 +1,212 @@
+//! Assignment of monetary values to streaming objects.
+
+use crate::WorkloadError;
+use rand::Rng;
+
+/// Model describing how per-object values `V_i` are drawn.
+///
+/// Section 4.4 of the paper assumes values uniformly distributed between
+/// $1 and $10. Additional models are provided for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueModel {
+    /// Every object has the same value.
+    Constant(f64),
+    /// Values drawn uniformly from `[low, high]` (the paper's model with
+    /// `low = 1.0`, `high = 10.0`).
+    Uniform {
+        /// Lower bound of the value range (inclusive).
+        low: f64,
+        /// Upper bound of the value range (inclusive).
+        high: f64,
+    },
+    /// Value proportional to popularity rank: the most popular object gets
+    /// `max`, the least popular gets `min`, linear in between. Useful for
+    /// ablations where value correlates with popularity.
+    PopularityLinear {
+        /// Value of the least popular object.
+        min: f64,
+        /// Value of the most popular object.
+        max: f64,
+    },
+}
+
+impl Default for ValueModel {
+    /// The paper's model: `Uniform { low: 1.0, high: 10.0 }`.
+    fn default() -> Self {
+        ValueModel::Uniform {
+            low: 1.0,
+            high: 10.0,
+        }
+    }
+}
+
+impl ValueModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] when a bound is negative,
+    /// non-finite, or when `low > high` / `min > max`.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            ValueModel::Constant(v) => {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(WorkloadError::InvalidParameter("value", v));
+                }
+            }
+            ValueModel::Uniform { low, high } => {
+                if !low.is_finite() || low < 0.0 {
+                    return Err(WorkloadError::InvalidParameter("low", low));
+                }
+                if !high.is_finite() || high < low {
+                    return Err(WorkloadError::InvalidParameter("high", high));
+                }
+            }
+            ValueModel::PopularityLinear { min, max } => {
+                if !min.is_finite() || min < 0.0 {
+                    return Err(WorkloadError::InvalidParameter("min", min));
+                }
+                if !max.is_finite() || max < min {
+                    return Err(WorkloadError::InvalidParameter("max", max));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Draws per-object values according to a [`ValueModel`].
+///
+/// ```
+/// use sc_workload::{ValueAssigner, ValueModel};
+/// use rand::SeedableRng;
+///
+/// let assigner = ValueAssigner::new(ValueModel::default())?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let values = assigner.assign(&mut rng, 100);
+/// assert_eq!(values.len(), 100);
+/// assert!(values.iter().all(|v| (1.0..=10.0).contains(v)));
+/// # Ok::<(), sc_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueAssigner {
+    model: ValueModel,
+}
+
+impl ValueAssigner {
+    /// Creates an assigner after validating the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ValueModel::validate`] errors.
+    pub fn new(model: ValueModel) -> Result<Self, WorkloadError> {
+        model.validate()?;
+        Ok(ValueAssigner { model })
+    }
+
+    /// The underlying value model.
+    pub fn model(&self) -> ValueModel {
+        self.model
+    }
+
+    /// Draws the value of the object with popularity rank `rank` (1-based)
+    /// out of `n` objects.
+    pub fn value_for_rank<R: Rng + ?Sized>(&self, rng: &mut R, rank: usize, n: usize) -> f64 {
+        match self.model {
+            ValueModel::Constant(v) => v,
+            ValueModel::Uniform { low, high } => {
+                if high > low {
+                    rng.gen_range(low..=high)
+                } else {
+                    low
+                }
+            }
+            ValueModel::PopularityLinear { min, max } => {
+                if n <= 1 {
+                    max
+                } else {
+                    let frac = (rank - 1) as f64 / (n - 1) as f64;
+                    max - frac * (max - min)
+                }
+            }
+        }
+    }
+
+    /// Assigns values to `n` objects in popularity-rank order (index 0 is
+    /// the most popular object).
+    pub fn assign<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (1..=n).map(|r| self.value_for_rank(rng, r, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_model_is_paper_uniform() {
+        assert_eq!(
+            ValueModel::default(),
+            ValueModel::Uniform {
+                low: 1.0,
+                high: 10.0
+            }
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_bounds() {
+        assert!(ValueModel::Uniform {
+            low: 5.0,
+            high: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ValueModel::Constant(-1.0).validate().is_err());
+        assert!(ValueModel::PopularityLinear { min: 3.0, max: 1.0 }
+            .validate()
+            .is_err());
+        assert!(ValueModel::Uniform {
+            low: f64::NAN,
+            high: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn uniform_values_within_bounds_and_spread() {
+        let a = ValueAssigner::new(ValueModel::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let values = a.assign(&mut rng, 10_000);
+        assert!(values.iter().all(|v| (1.0..=10.0).contains(v)));
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((mean - 5.5).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn constant_model() {
+        let a = ValueAssigner::new(ValueModel::Constant(3.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(a.assign(&mut rng, 5).iter().all(|v| *v == 3.0));
+    }
+
+    #[test]
+    fn popularity_linear_is_monotone() {
+        let a = ValueAssigner::new(ValueModel::PopularityLinear { min: 1.0, max: 9.0 }).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let values = a.assign(&mut rng, 9);
+        assert_eq!(values[0], 9.0);
+        assert_eq!(values[8], 1.0);
+        assert!(values.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_single_point() {
+        let a = ValueAssigner::new(ValueModel::Uniform { low: 2.0, high: 2.0 }).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(a.value_for_rank(&mut rng, 1, 10), 2.0);
+    }
+}

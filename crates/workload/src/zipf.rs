@@ -1,0 +1,206 @@
+//! Zipf-like popularity distribution.
+
+use crate::WorkloadError;
+use rand::Rng;
+
+/// A Zipf-like discrete distribution over ranks `1..=n`.
+///
+/// With skew parameter `alpha`, the probability of drawing the object with
+/// popularity rank `r` is proportional to `r^{-alpha}`. The paper uses
+/// `alpha = 0.73` by default and sweeps `alpha ∈ [0.5, 1.2]` in Section 4.2.
+///
+/// Sampling uses inverse-transform over the precomputed cumulative
+/// distribution (binary search), so drawing a sample costs `O(log n)`.
+///
+/// ```
+/// use sc_workload::ZipfLike;
+/// use rand::SeedableRng;
+///
+/// let zipf = ZipfLike::new(1000, 0.73)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1000).contains(&rank));
+/// // Rank 1 is the most likely outcome.
+/// assert!(zipf.probability(1) > zipf.probability(1000));
+/// # Ok::<(), sc_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfLike {
+    n: usize,
+    alpha: f64,
+    /// `cdf[r-1]` = P(rank <= r); last entry is exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfLike {
+    /// Creates a Zipf-like distribution over `n` ranks with skew `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::EmptyCatalog`] if `n == 0` and
+    /// [`WorkloadError::InvalidZipfAlpha`] if `alpha` is negative, NaN or
+    /// infinite.
+    pub fn new(n: usize, alpha: f64) -> Result<Self, WorkloadError> {
+        if n == 0 {
+            return Err(WorkloadError::EmptyCatalog);
+        }
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(WorkloadError::InvalidZipfAlpha(alpha));
+        }
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n {
+            let w = (r as f64).powf(-alpha);
+            total += w;
+            weights.push(w);
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating-point drift.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(ZipfLike { n, alpha, cdf })
+    }
+
+    /// Number of ranks in the distribution.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the distribution has no ranks (never happens for a
+    /// successfully constructed value; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The skew parameter `alpha`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of drawing popularity rank `rank` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero or greater than [`len`](Self::len).
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!(rank >= 1 && rank <= self.n, "rank out of range");
+        let prev = if rank == 1 { 0.0 } else { self.cdf[rank - 2] };
+        self.cdf[rank - 1] - prev
+    }
+
+    /// Draws a popularity rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.rank_for_quantile(u)
+    }
+
+    /// Returns the smallest rank `r` such that `P(rank <= r) >= q`.
+    ///
+    /// `q` is clamped to `[0, 1]`.
+    pub fn rank_for_quantile(&self, q: f64) -> usize {
+        let q = q.clamp(0.0, 1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&q).expect("cdf is never NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.n),
+        }
+    }
+
+    /// Expected request share of the `k` most popular ranks.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[k.min(self.n) - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_and_bad_alpha() {
+        assert!(matches!(
+            ZipfLike::new(0, 0.73),
+            Err(WorkloadError::EmptyCatalog)
+        ));
+        assert!(matches!(
+            ZipfLike::new(10, -0.5),
+            Err(WorkloadError::InvalidZipfAlpha(_))
+        ));
+        assert!(matches!(
+            ZipfLike::new(10, f64::NAN),
+            Err(WorkloadError::InvalidZipfAlpha(_))
+        ));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfLike::new(100, 0.73).unwrap();
+        let total: f64 = (1..=100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_decrease_with_rank() {
+        let z = ZipfLike::new(50, 1.0).unwrap();
+        for r in 1..50 {
+            assert!(z.probability(r) >= z.probability(r + 1));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = ZipfLike::new(10, 0.0).unwrap();
+        for r in 1..=10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_head_mass() {
+        let low = ZipfLike::new(1000, 0.5).unwrap();
+        let high = ZipfLike::new(1000, 1.2).unwrap();
+        assert!(high.head_mass(10) > low.head_mass(10));
+    }
+
+    #[test]
+    fn sampling_matches_head_mass_roughly() {
+        let z = ZipfLike::new(200, 0.73).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = 20_000;
+        let mut head = 0usize;
+        for _ in 0..draws {
+            if z.sample(&mut rng) <= 20 {
+                head += 1;
+            }
+        }
+        let empirical = head as f64 / draws as f64;
+        let expected = z.head_mass(20);
+        assert!(
+            (empirical - expected).abs() < 0.02,
+            "empirical {empirical} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let z = ZipfLike::new(10, 0.73).unwrap();
+        assert_eq!(z.rank_for_quantile(0.0), 1);
+        assert_eq!(z.rank_for_quantile(1.0), 10);
+        assert_eq!(z.rank_for_quantile(2.0), 10);
+        assert_eq!(z.rank_for_quantile(-1.0), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_workload::{
+    Catalog, CatalogConfig, LogNormal, PoissonProcess, RequestTrace, TraceConfig, ValueAssigner,
+    ValueModel, WorkloadBuilder, ZipfLike,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf probabilities always sum to one and are non-increasing in rank.
+    #[test]
+    fn zipf_is_a_valid_distribution(n in 1usize..400, alpha in 0.0f64..2.5) {
+        let z = ZipfLike::new(n, alpha).unwrap();
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for r in 1..=n {
+            let p = z.probability(r);
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= prev + 1e-12);
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Sampled ranks are always within range.
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..200, alpha in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = ZipfLike::new(n, alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r >= 1 && r <= n);
+        }
+    }
+
+    /// Lognormal samples are strictly positive and finite.
+    #[test]
+    fn lognormal_samples_positive(mu in -2.0f64..5.0, sigma in 0.0f64..1.5, seed in any::<u64>()) {
+        let ln = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = ln.sample(&mut rng);
+            prop_assert!(x > 0.0);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    /// Poisson arrival times are strictly increasing.
+    #[test]
+    fn poisson_times_increasing(rate in 0.01f64..100.0, seed in any::<u64>()) {
+        let p = PoissonProcess::new(rate).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let times = p.arrival_times(&mut rng, 200);
+        prop_assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        prop_assert!(times[0] > 0.0);
+    }
+
+    /// Values always respect the configured bounds.
+    #[test]
+    fn values_respect_bounds(low in 0.0f64..5.0, extra in 0.0f64..10.0, seed in any::<u64>()) {
+        let high = low + extra;
+        let a = ValueAssigner::new(ValueModel::Uniform { low, high }).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in a.assign(&mut rng, 100) {
+            prop_assert!(v >= low - 1e-12 && v <= high + 1e-12);
+        }
+    }
+
+    /// Generated traces reference only objects from the catalog and are
+    /// sorted by time.
+    #[test]
+    fn traces_are_well_formed(objects in 1usize..100, requests in 1usize..500, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = Catalog::generate(
+            &CatalogConfig { objects, ..CatalogConfig::small() },
+            &mut rng,
+        ).unwrap();
+        let trace = RequestTrace::generate(
+            &catalog,
+            &TraceConfig { requests, ..TraceConfig::small() },
+            &mut rng,
+        ).unwrap();
+        prop_assert_eq!(trace.len(), requests);
+        prop_assert!(trace.iter().all(|r| r.object.index() < objects));
+        prop_assert!(trace.requests().windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+        let counts = trace.request_counts(objects);
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(total as usize, requests);
+    }
+
+    /// The builder is deterministic in its seed.
+    #[test]
+    fn builder_deterministic(seed in any::<u64>()) {
+        let a = WorkloadBuilder::new().objects(30).requests(100).seed(seed).build().unwrap();
+        let b = WorkloadBuilder::new().objects(30).requests(100).seed(seed).build().unwrap();
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.catalog, b.catalog);
+    }
+}

@@ -1,0 +1,71 @@
+//! Value-based caching: maximising the revenue of a cache that sells
+//! immediate playout (Section 2.6 of the paper; Figures 10–12 reduced).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example value_based_caching --release
+//! ```
+
+use streamcache::cache::policy::PolicyKind;
+use streamcache::cache::{
+    exact_value_selection, greedy_value_selection, total_value, ObjectKey, ObjectMeta,
+    OfflineObject,
+};
+use streamcache::sim::{run_replicated, SimulationConfig, VariabilityKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline: greedy vs exact knapsack on a small hand-built catalog.
+    let objects: Vec<OfflineObject> = (0..12u64)
+        .map(|i| {
+            let duration = 300.0 + 120.0 * i as f64;
+            let bandwidth = 12_000.0 + 3_000.0 * (i % 5) as f64;
+            let value = 1.0 + (i % 10) as f64;
+            OfflineObject::new(
+                ObjectMeta::new(ObjectKey::new(i), duration, 48_000.0, value),
+                1.0 + (i % 3) as f64,
+                bandwidth,
+            )
+        })
+        .collect();
+    let capacity = 60e6;
+    let greedy = greedy_value_selection(&objects, capacity)?;
+    let exact = exact_value_selection(&objects, capacity, 10_000)?;
+    println!(
+        "offline knapsack: greedy value rate = {:.1} $/s, exact DP = {:.1} $/s",
+        total_value(&objects, &greedy)?,
+        total_value(&objects, &exact)?
+    );
+    println!();
+
+    // Online: IF vs PB-V vs IB-V on a synthetic workload.
+    println!(
+        "{:<6} {:>10} {:>16}",
+        "policy", "traffic", "total value ($)"
+    );
+    for policy in [
+        PolicyKind::IntegralFrequency,
+        PolicyKind::PartialBandwidthValue { e: 1.0 },
+        PolicyKind::PartialBandwidthValue { e: 0.5 },
+        PolicyKind::IntegralBandwidthValue,
+    ] {
+        let config = SimulationConfig {
+            policy,
+            variability: VariabilityKind::MeasuredModerate,
+            ..SimulationConfig::small()
+        }
+        .with_cache_fraction(0.05);
+        let metrics = run_replicated(&config, 2)?;
+        println!(
+            "{:<6} {:>10.4} {:>16.1}",
+            policy.label(),
+            metrics.traffic_reduction_ratio,
+            metrics.total_added_value
+        );
+    }
+    println!();
+    println!("Paper Figures 10–12: PB-V maximises added value, IF maximises traffic");
+    println!("reduction, IB-V balances both; under variability a conservative");
+    println!("estimator (e ≈ 0.5) beats the exact prefix.");
+    Ok(())
+}
