@@ -81,8 +81,7 @@ fn bench_eviction_pressure(c: &mut Criterion) {
     group.throughput(Throughput::Elements(stream.len() as u64));
     group.bench_function("pb_tiny_cache", |b| {
         b.iter(|| {
-            let mut cache =
-                CacheEngine::new(5e8, PolicyKind::PartialBandwidth.build()).unwrap();
+            let mut cache = CacheEngine::new(5e8, PolicyKind::PartialBandwidth.build()).unwrap();
             for (meta, bandwidth) in &stream {
                 cache.on_access(meta, *bandwidth);
             }

@@ -46,7 +46,13 @@ fn bench_path_set_generation(c: &mut Criterion) {
         let base = NlanrBandwidthModel::paper_default();
         let mut rng = StdRng::seed_from_u64(3);
         b.iter(|| {
-            PathSet::generate(5_000, &base, VariabilityModel::measured_path_low(), &mut rng).len()
+            PathSet::generate(
+                5_000,
+                &base,
+                VariabilityModel::measured_path_low(),
+                &mut rng,
+            )
+            .len()
         });
     });
 }

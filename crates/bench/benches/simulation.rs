@@ -62,5 +62,9 @@ fn bench_variability_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation_policies, bench_variability_overhead);
+criterion_group!(
+    benches,
+    bench_simulation_policies,
+    bench_variability_overhead
+);
 criterion_main!(benches);

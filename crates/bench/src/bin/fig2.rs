@@ -19,13 +19,13 @@ fn main() {
 
     println!("# fig2 — Internet bandwidth distribution (synthetic NLANR-like model)");
     println!("{:>12} {:>10} {:>10}", "KB/s (bin)", "samples", "CDF");
-    for i in 0..hist.bins() {
+    for (i, cum) in cdf.iter().enumerate() {
         if hist.count(i) > 0 || i % 5 == 0 {
             println!(
                 "{:>12.0} {:>10} {:>10.4}",
                 hist.bin_start(i),
                 hist.count(i),
-                cdf[i]
+                cum
             );
         }
     }

@@ -15,8 +15,13 @@ fn main() {
 
     println!("# fig3 — Variation of bandwidth (sample-to-mean ratio, NLANR-like model)");
     println!("{:>10} {:>10} {:>10}", "ratio bin", "samples", "CDF");
-    for i in 0..hist.bins() {
-        println!("{:>10.2} {:>10} {:>10.4}", hist.bin_start(i), hist.count(i), cdf[i]);
+    for (i, cum) in cdf.iter().enumerate() {
+        println!(
+            "{:>10.2} {:>10} {:>10.4}",
+            hist.bin_start(i),
+            hist.count(i),
+            cum
+        );
     }
     let in_band = hist.fraction_below(1.5) - hist.fraction_below(0.5);
     println!();

@@ -9,7 +9,11 @@ use sc_netmodel::{Histogram, PathModel, VariabilityModel};
 
 fn main() {
     let paths = [
-        ("INRIA-like (low)", VariabilityModel::measured_path_low(), 0.9),
+        (
+            "INRIA-like (low)",
+            VariabilityModel::measured_path_low(),
+            0.9,
+        ),
         (
             "Taiwan-like (moderate)",
             VariabilityModel::measured_path_moderate(),

@@ -15,7 +15,8 @@
 #![warn(missing_docs)]
 
 use sc_sim::experiments::ExperimentScale;
-use sc_sim::FigureResult;
+use sc_sim::{FigureResult, Metrics};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Parses the `--scale <paper|quick|test>` command-line option; defaults to
@@ -43,17 +44,100 @@ pub fn emit(figure: &FigureResult) {
     let dir = PathBuf::from("results");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{}.json", figure.id));
-        match serde_json::to_string_pretty(figure) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("warning: could not write {}: {e}", path.display());
-                } else {
-                    println!("(wrote {})", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialise {}: {e}", figure.id),
+        if let Err(e) = std::fs::write(&path, figure_to_json(figure)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(wrote {})", path.display());
         }
     }
+}
+
+/// Serialises a [`FigureResult`] to pretty-printed JSON.
+///
+/// Hand-rolled because the build environment has no registry access for
+/// `serde`; the schema mirrors the public fields of [`FigureResult`].
+/// Non-finite floats (e.g. an infinite average delay at zero bandwidth)
+/// are emitted as `null`, matching what `serde_json` does for them.
+pub fn figure_to_json(figure: &FigureResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"id\": {},", json_string(&figure.id));
+    let _ = writeln!(out, "  \"title\": {},", json_string(&figure.title));
+    let _ = writeln!(out, "  \"x_label\": {},", json_string(&figure.x_label));
+    out.push_str("  \"series\": [\n");
+    for (si, series) in figure.series.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"label\": {},", json_string(&series.label));
+        out.push_str("      \"points\": [\n");
+        for (pi, point) in series.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"x\": {}, \"metrics\": {}}}",
+                json_f64(point.x),
+                metrics_to_json(&point.metrics)
+            );
+            out.push_str(if pi + 1 < series.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 < figure.series.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn metrics_to_json(m: &Metrics) -> String {
+    format!(
+        "{{\"requests\": {}, \"traffic_reduction_ratio\": {}, \
+         \"avg_service_delay_secs\": {}, \"avg_stream_quality\": {}, \
+         \"total_added_value\": {}, \"hit_ratio\": {}, \"immediate_ratio\": {}}}",
+        m.requests,
+        json_f64(m.traffic_reduction_ratio),
+        json_f64(m.avg_service_delay_secs),
+        json_f64(m.avg_stream_quality),
+        json_f64(m.total_added_value),
+        json_f64(m.hit_ratio),
+        json_f64(m.immediate_ratio),
+    )
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]

@@ -138,7 +138,10 @@ impl<P: UtilityPolicy> CacheEngine<P> {
 
     /// Bytes of `key` currently cached (0 when absent).
     pub fn cached_bytes(&self, key: ObjectKey) -> f64 {
-        self.entries.get(&key).map(|e| e.cached_bytes).unwrap_or(0.0)
+        self.entries
+            .get(&key)
+            .map(|e| e.cached_bytes)
+            .unwrap_or(0.0)
     }
 
     /// Whether any prefix of `key` is cached.
@@ -281,7 +284,12 @@ impl<P: UtilityPolicy> CacheEngine<P> {
                 self.stats.bytes_evicted += *bytes;
             }
             let evicted = popped.len();
-            self.entries.insert(key, CachedEntry { cached_bytes: grant });
+            self.entries.insert(
+                key,
+                CachedEntry {
+                    cached_bytes: grant,
+                },
+            );
             self.used_bytes += grant;
             self.heap.insert(key, utility);
             let grew = grant > cached_before;
@@ -309,9 +317,7 @@ impl<P: UtilityPolicy> CacheEngine<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{
-        IntegralBandwidth, IntegralFrequency, Lru, PartialBandwidth, PolicyKind,
-    };
+    use crate::policy::{IntegralBandwidth, IntegralFrequency, Lru, PartialBandwidth, PolicyKind};
 
     const R: f64 = 48_000.0;
 

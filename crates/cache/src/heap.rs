@@ -180,10 +180,13 @@ impl UtilityHeap {
         self.positions.insert(self.entries[b].0, b);
     }
 
-    /// Checks the heap invariant; used by tests and debug assertions.
-    #[cfg(any(test, debug_assertions))]
-    #[allow(dead_code)]
-    pub(crate) fn is_valid(&self) -> bool {
+    /// Checks the internal heap invariant (every parent's utility is at most
+    /// its children's) and the consistency of the key→position index.
+    ///
+    /// Always true for a correctly behaving heap; exposed so invariant and
+    /// property tests can verify the structure after arbitrary operation
+    /// sequences.
+    pub fn validate(&self) -> bool {
         for i in 1..self.entries.len() {
             let parent = (i - 1) / 2;
             if self.entries[parent].1 > self.entries[i].1 {
@@ -213,7 +216,7 @@ mod tests {
             h.insert(key(i as u64), *u);
         }
         assert_eq!(h.len(), 5);
-        assert!(h.is_valid());
+        assert!(h.validate());
         let mut popped = Vec::new();
         while let Some((_, u)) = h.pop_min() {
             popped.push(u);
@@ -232,7 +235,7 @@ mod tests {
         assert_eq!(h.peek_min().unwrap().0, key(2));
         h.update(key(3), 0.5);
         assert_eq!(h.peek_min().unwrap().0, key(3));
-        assert!(h.is_valid());
+        assert!(h.validate());
         assert_eq!(h.utility(key(1)), Some(10.0));
     }
 
@@ -261,7 +264,7 @@ mod tests {
         assert_eq!(h.remove(key(5)), Some(15.0));
         assert_eq!(h.remove(key(5)), None);
         assert_eq!(h.len(), 19);
-        assert!(h.is_valid());
+        assert!(h.validate());
         assert!(!h.contains(key(5)));
         // Remaining entries still pop in sorted order.
         let mut prev = f64::NEG_INFINITY;
@@ -278,7 +281,7 @@ mod tests {
         h.insert(key(1), 1.0);
         assert_eq!(h.remove(key(1)), Some(1.0));
         assert!(h.is_empty());
-        assert!(h.is_valid());
+        assert!(h.validate());
     }
 
     #[test]
@@ -318,8 +321,8 @@ mod tests {
                     h.remove(k);
                 }
             }
-            debug_assert!(h.is_valid());
+            debug_assert!(h.validate());
         }
-        assert!(h.is_valid());
+        assert!(h.validate());
     }
 }

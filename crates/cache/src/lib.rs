@@ -60,8 +60,8 @@ mod engine;
 mod error;
 mod heap;
 mod object;
-pub mod policy;
 mod optimal;
+pub mod policy;
 mod stats;
 
 pub use alloc::{

@@ -1,13 +1,12 @@
 //! Object metadata consumed by the caching algorithms.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Key identifying a streaming media object at the cache.
 ///
 /// Keys are opaque to the caching algorithms; the simulator uses the dense
 /// catalog index, while the proxy prototype derives keys from URLs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectKey(pub u64);
 
 impl ObjectKey {
@@ -48,7 +47,7 @@ impl From<u64> for ObjectKey {
 /// let meta = ObjectMeta::new(ObjectKey::new(1), 600.0, 48_000.0, 5.0);
 /// assert_eq!(meta.size_bytes(), 600.0 * 48_000.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObjectMeta {
     /// Cache key of the object.
     pub key: ObjectKey,

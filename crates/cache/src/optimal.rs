@@ -38,7 +38,10 @@ impl OfflineObject {
             return Err(CacheError::InvalidInput("arrival_rate", self.arrival_rate));
         }
         if !self.bandwidth_bps.is_finite() || self.bandwidth_bps < 0.0 {
-            return Err(CacheError::InvalidInput("bandwidth_bps", self.bandwidth_bps));
+            return Err(CacheError::InvalidInput(
+                "bandwidth_bps",
+                self.bandwidth_bps,
+            ));
         }
         Ok(())
     }
@@ -317,7 +320,10 @@ mod tests {
 
     #[test]
     fn fast_objects_are_never_cached() {
-        let objects = vec![off(0, 100.0, 10.0, 2.0 * R, 1.0), off(1, 100.0, 1.0, R, 1.0)];
+        let objects = vec![
+            off(0, 100.0, 10.0, 2.0 * R, 1.0),
+            off(1, 100.0, 1.0, R, 1.0),
+        ];
         let alloc = optimal_partial_allocation(&objects, 1e12).unwrap();
         assert_eq!(alloc, vec![0.0, 0.0]);
     }
@@ -379,7 +385,7 @@ mod tests {
         let equal_delay = average_service_delay(&objects, &equal).unwrap();
         assert!(optimal_delay <= equal_delay + 1e-9);
         // Caching nothing is worst.
-        let nothing_delay = average_service_delay(&objects, &vec![0.0; 4]).unwrap();
+        let nothing_delay = average_service_delay(&objects, &[0.0; 4]).unwrap();
         assert!(optimal_delay < nothing_delay);
     }
 

@@ -22,8 +22,6 @@ pub use partial::PartialBandwidth;
 pub use traits::UtilityPolicy;
 pub use value::{IntegralBandwidthValue, PartialBandwidthValue};
 
-use serde::{Deserialize, Serialize};
-
 /// Enumeration of all built-in policies, convenient for configuration files
 /// and experiment sweeps.
 ///
@@ -34,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(policy.name(), "PB");
 /// assert_eq!(PolicyKind::all_paper_policies().len(), 6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicyKind {
     /// Integral frequency-based caching (IF).
     IntegralFrequency,

@@ -169,7 +169,10 @@ mod tests {
         );
         assert_eq!(conservative.name(), "PB-V(e=0.50)");
         assert_eq!(exact.name(), "PB-V");
-        assert_eq!(PartialBandwidthValue::with_estimator(9.0).estimator_e(), 1.0);
+        assert_eq!(
+            PartialBandwidthValue::with_estimator(9.0).estimator_e(),
+            1.0
+        );
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! Running statistics of a cache instance.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters maintained by the [`CacheEngine`](crate::CacheEngine).
 ///
 /// The byte-level counters directly support the paper's *traffic reduction
 /// ratio* metric: the fraction of all requested bytes that were served from
 /// the cache rather than the origin servers.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CacheStats {
     /// Number of accesses processed.
     pub requests: u64,

@@ -9,7 +9,6 @@
 
 use crate::error::NetModelError;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A continuous distribution described by a piecewise-linear CDF.
 ///
@@ -33,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((0.0..=100.0).contains(&x));
 /// # Ok::<(), sc_netmodel::NetModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalDistribution {
     /// CDF knots as (value, cumulative probability), strictly validated.
     knots: Vec<(f64, f64)>,
@@ -229,10 +228,13 @@ mod tests {
         assert!(EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (1.0, 0.9)]).is_err());
         assert!(EmpiricalDistribution::from_cdf(vec![(1.0, 0.0), (0.0, 1.0)]).is_err());
         assert!(EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (1.0, f64::NAN)]).is_err());
-        assert!(
-            EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (1.0, 0.6), (2.0, 0.5), (3.0, 1.0)])
-                .is_err()
-        );
+        assert!(EmpiricalDistribution::from_cdf(vec![
+            (0.0, 0.0),
+            (1.0, 0.6),
+            (2.0, 0.5),
+            (3.0, 1.0)
+        ])
+        .is_err());
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Fixed-width histograms, as used in Figures 2, 3 and 4 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-bin-width histogram over `[0, bin_width * bins)`.
 ///
 /// The paper's Figure 2 histogram uses 4 KB/s bins over the observed NLANR
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(hist.total(), 3);
 /// assert_eq!(hist.count(2), 2); // both 10 and 11 KB/s fall in bin [8, 12) KB/s
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bin_width: f64,
     counts: Vec<u64>,

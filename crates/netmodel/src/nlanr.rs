@@ -15,7 +15,6 @@
 use crate::empirical::EmpiricalDistribution;
 use crate::error::NetModelError;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Number of bytes per kilobyte used throughout the crate (the paper uses
 /// decimal KB/s on its axes).
@@ -38,7 +37,7 @@ pub const BYTES_PER_KB: f64 = 1_000.0;
 /// // The paper's landmark: 37% of paths are below 50 KB/s.
 /// assert!((model.fraction_below_kbps(50.0) - 0.37).abs() < 0.02);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NlanrBandwidthModel {
     distribution: EmpiricalDistribution,
 }
@@ -162,7 +161,10 @@ mod tests {
         let samples = m.sample_n_bps(&mut rng, 10_000);
         let below_50k = samples.iter().filter(|&&s| s < 50.0 * BYTES_PER_KB).count() as f64
             / samples.len() as f64;
-        assert!((below_50k - 0.37).abs() < 0.02, "below 50 KB/s: {below_50k}");
+        assert!(
+            (below_50k - 0.37).abs() < 0.02,
+            "below 50 KB/s: {below_50k}"
+        );
         let above_200k = samples
             .iter()
             .filter(|&&s| s > 200.0 * BYTES_PER_KB)
@@ -186,7 +188,11 @@ mod tests {
         assert_eq!(hist.total(), 5_000);
         let cdf = hist.cumulative();
         // CDF at 100 KB/s (bin index 25) should be near 0.56.
-        assert!((cdf[24] - 0.56).abs() < 0.03, "cdf at 100 KB/s: {}", cdf[24]);
+        assert!(
+            (cdf[24] - 0.56).abs() < 0.03,
+            "cdf at 100 KB/s: {}",
+            cdf[24]
+        );
     }
 
     #[test]

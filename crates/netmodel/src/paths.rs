@@ -10,10 +10,9 @@ use crate::nlanr::NlanrBandwidthModel;
 use crate::timeseries::{BandwidthTimeSeries, TimeSeriesConfig};
 use crate::variability::VariabilityModel;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a network path (one per origin server / object).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PathId(pub u32);
 
 impl PathId {
@@ -35,7 +34,7 @@ impl PathId {
 /// assert!(bw > 0.0);
 /// assert_eq!(path.mean_bps(), 80_000.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathModel {
     mean_bps: f64,
     variability: VariabilityModel,
@@ -109,7 +108,7 @@ impl PathModel {
 /// assert_eq!(paths.len(), 100);
 /// assert!(paths.mean_bps(0) > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathSet {
     paths: Vec<PathModel>,
 }

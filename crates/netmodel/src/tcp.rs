@@ -8,10 +8,9 @@
 //! loss and RTT) can be simulated.
 
 use crate::error::NetModelError;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a TCP connection for the Padhye throughput formula.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpPathParams {
     /// Maximum segment size in bytes.
     pub mss_bytes: f64,

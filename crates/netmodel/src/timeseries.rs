@@ -9,10 +9,9 @@
 
 use crate::error::NetModelError;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of an AR(1) mean-reverting bandwidth process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeSeriesConfig {
     /// Long-run mean bandwidth in bytes per second.
     pub mean_bps: f64,
@@ -50,9 +49,7 @@ impl TimeSeriesConfig {
         if !self.cov.is_finite() || self.cov < 0.0 {
             return Err(NetModelError::InvalidParameter("cov", self.cov));
         }
-        if !self.autocorrelation.is_finite()
-            || !(0.0..1.0).contains(&self.autocorrelation)
-        {
+        if !self.autocorrelation.is_finite() || !(0.0..1.0).contains(&self.autocorrelation) {
             return Err(NetModelError::InvalidParameter(
                 "autocorrelation",
                 self.autocorrelation,
@@ -69,7 +66,7 @@ impl TimeSeriesConfig {
 }
 
 /// A generated bandwidth time series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthTimeSeries {
     interval_secs: f64,
     samples_bps: Vec<f64>,
@@ -221,7 +218,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let ts = BandwidthTimeSeries::generate(&cfg, 20_000, &mut rng).unwrap();
         let s = Summary::of(ts.samples_bps()).unwrap();
-        assert!((s.mean - 100_000.0).abs() / 100_000.0 < 0.05, "mean {}", s.mean);
+        assert!(
+            (s.mean - 100_000.0).abs() / 100_000.0 < 0.05,
+            "mean {}",
+            s.mean
+        );
         assert!((s.cov - 0.3).abs() < 0.05, "cov {}", s.cov);
         assert!(ts.samples_bps().iter().all(|&x| x > 0.0));
     }

@@ -15,7 +15,6 @@
 use crate::empirical::EmpiricalDistribution;
 use crate::error::NetModelError;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A distribution of the bandwidth sample-to-mean ratio.
 ///
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// let ratio = high.sample_ratio(&mut rng);
 /// assert!(ratio >= 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariabilityModel {
     name: String,
     distribution: EmpiricalDistribution,
@@ -275,8 +274,7 @@ mod tests {
 
     #[test]
     fn from_ratio_cdf_normalises_mean() {
-        let m =
-            VariabilityModel::from_ratio_cdf("custom", vec![(0.0, 0.0), (4.0, 1.0)]).unwrap();
+        let m = VariabilityModel::from_ratio_cdf("custom", vec![(0.0, 0.0), (4.0, 1.0)]).unwrap();
         assert!((m.distribution().mean() - 1.0).abs() < 1e-9);
         assert_eq!(m.name(), "custom");
     }

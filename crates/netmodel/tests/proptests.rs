@@ -1,118 +1,150 @@
-//! Property-based tests for the bandwidth models.
+//! Property-style tests for the bandwidth models.
+//!
+//! Seeded-loop property tests (the registry-less build environment has no
+//! `proptest`): every property draws random cases from a fixed-seed
+//! [`StdRng`], so failures reproduce deterministically.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sc_netmodel::{
-    BandwidthEstimator, BandwidthTimeSeries, ConservativeEstimator, EmpiricalDistribution,
-    EwmaEstimator, Histogram, NlanrBandwidthModel, PathSet, TcpPathParams, TimeSeriesConfig,
-    VariabilityModel, WindowedEstimator, tcp_throughput_bps,
+    tcp_throughput_bps, BandwidthEstimator, BandwidthTimeSeries, ConservativeEstimator,
+    EmpiricalDistribution, EwmaEstimator, Histogram, NlanrBandwidthModel, PathSet, TcpPathParams,
+    TimeSeriesConfig, VariabilityModel, WindowedEstimator,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The empirical CDF and quantile functions are inverse to each other
-    /// inside the support.
-    #[test]
-    fn empirical_cdf_quantile_roundtrip(p in 0.0f64..1.0) {
-        let d = EmpiricalDistribution::from_cdf(vec![
-            (0.0, 0.0), (5.0, 0.3), (20.0, 0.9), (40.0, 1.0),
-        ]).unwrap();
+/// The empirical CDF and quantile functions are inverse to each other
+/// inside the support.
+#[test]
+fn empirical_cdf_quantile_roundtrip() {
+    let d = EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (5.0, 0.3), (20.0, 0.9), (40.0, 1.0)])
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC0F);
+    for _ in 0..200 {
+        let p: f64 = rng.gen();
         let x = d.quantile(p);
         let q = d.cdf(x);
-        prop_assert!((q - p).abs() < 1e-9, "p={p} x={x} q={q}");
+        assert!((q - p).abs() < 1e-9, "p={p} x={x} q={q}");
     }
+}
 
-    /// Empirical samples always stay inside the distribution's support.
-    #[test]
-    fn empirical_samples_in_support(seed in any::<u64>()) {
-        let d = EmpiricalDistribution::from_cdf(vec![(10.0, 0.0), (90.0, 1.0)]).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        for _ in 0..64 {
-            let x = d.sample(&mut rng);
-            prop_assert!((10.0..=90.0).contains(&x));
-        }
+/// Empirical samples always stay inside the distribution's support.
+#[test]
+fn empirical_samples_in_support() {
+    let d = EmpiricalDistribution::from_cdf(vec![(10.0, 0.0), (90.0, 1.0)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5A3);
+    for _ in 0..2_000 {
+        let x = d.sample(&mut rng);
+        assert!((10.0..=90.0).contains(&x));
     }
+}
 
-    /// NLANR model samples are positive and bounded by the distribution max.
-    #[test]
-    fn nlanr_samples_positive(seed in any::<u64>()) {
-        let m = NlanrBandwidthModel::paper_default();
-        let mut rng = StdRng::seed_from_u64(seed);
-        for _ in 0..64 {
-            let bw = m.sample_bps(&mut rng);
-            prop_assert!(bw > 0.0);
-            prop_assert!(bw <= 800_000.0 + 1e-6);
-        }
+/// NLANR model samples are positive and bounded by the distribution max.
+#[test]
+fn nlanr_samples_positive() {
+    let m = NlanrBandwidthModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(0x91A);
+    for _ in 0..2_000 {
+        let bw = m.sample_bps(&mut rng);
+        assert!(bw > 0.0);
+        assert!(bw <= 800_000.0 + 1e-6);
     }
+}
 
-    /// Variability ratios are non-negative and path samples scale with the
-    /// base bandwidth.
-    #[test]
-    fn variability_apply_scales(base in 1_000.0f64..1_000_000.0, seed in any::<u64>()) {
-        let m = VariabilityModel::nlanr_like();
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Variability ratios are non-negative and path samples scale with the base
+/// bandwidth.
+#[test]
+fn variability_apply_scales() {
+    let m = VariabilityModel::nlanr_like();
+    let mut rng = StdRng::seed_from_u64(0xAB5);
+    for _ in 0..2_000 {
+        let base = rng.gen_range(1_000.0..1_000_000.0);
         let bw = m.apply(&mut rng, base);
-        prop_assert!(bw >= 0.0);
-        prop_assert!(bw <= base * 3.5);
+        assert!(bw >= 0.0);
+        assert!(bw <= base * 3.5);
     }
+}
 
-    /// Histograms conserve the number of samples.
-    #[test]
-    fn histogram_conserves_mass(samples in proptest::collection::vec(-10.0f64..500.0, 1..200)) {
+/// Histograms conserve the number of samples.
+#[test]
+fn histogram_conserves_mass() {
+    let mut rng = StdRng::seed_from_u64(0x415);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..200usize);
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..500.0)).collect();
         let h = Histogram::from_samples(4.0, 100, &samples);
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + h.overflow() + h.underflow(), samples.len() as u64);
-        prop_assert_eq!(h.total(), samples.len() as u64);
+        assert_eq!(binned + h.overflow() + h.underflow(), samples.len() as u64);
+        assert_eq!(h.total(), samples.len() as u64);
     }
+}
 
-    /// TCP throughput is monotonically non-increasing in loss rate.
-    #[test]
-    fn tcp_monotone_in_loss(rtt in 0.01f64..0.5, loss in 0.0005f64..0.2) {
+/// TCP throughput is monotonically non-increasing in loss rate.
+#[test]
+fn tcp_monotone_in_loss() {
+    let mut rng = StdRng::seed_from_u64(0x7C9);
+    for _ in 0..200 {
+        let rtt = rng.gen_range(0.01..0.5);
+        let loss = rng.gen_range(0.0005..0.2);
         let lo = tcp_throughput_bps(&TcpPathParams::wan(rtt, loss)).unwrap();
         let hi = tcp_throughput_bps(&TcpPathParams::wan(rtt, (loss * 2.0).min(1.0))).unwrap();
-        prop_assert!(hi <= lo + 1e-6);
+        assert!(hi <= lo + 1e-6);
     }
+}
 
-    /// Time series stay positive and have roughly the requested mean.
-    #[test]
-    fn timeseries_positive(mean in 10_000.0f64..500_000.0, cov in 0.0f64..0.6, seed in any::<u64>()) {
-        let cfg = TimeSeriesConfig { mean_bps: mean, cov, autocorrelation: 0.5, interval_secs: 60.0 };
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Time series stay positive regardless of mean and coefficient of
+/// variation.
+#[test]
+fn timeseries_positive() {
+    let mut rng = StdRng::seed_from_u64(0x715);
+    for _ in 0..64 {
+        let cfg = TimeSeriesConfig {
+            mean_bps: rng.gen_range(10_000.0..500_000.0),
+            cov: rng.gen_range(0.0..0.6),
+            autocorrelation: 0.5,
+            interval_secs: 60.0,
+        };
         let ts = BandwidthTimeSeries::generate(&cfg, 256, &mut rng).unwrap();
-        prop_assert!(ts.samples_bps().iter().all(|&x| x > 0.0));
+        assert!(ts.samples_bps().iter().all(|&x| x > 0.0));
     }
+}
 
-    /// Estimators never return a negative estimate and the conservative
-    /// wrapper never increases the estimate.
-    #[test]
-    fn estimators_non_negative(values in proptest::collection::vec(-10.0f64..1e6, 1..50), e in 0.0f64..1.0) {
+/// Estimators never return a negative estimate and the conservative wrapper
+/// never increases the estimate.
+#[test]
+fn estimators_non_negative() {
+    let mut rng = StdRng::seed_from_u64(0xE57);
+    for _ in 0..64 {
+        let e = rng.gen_range(0.0..1.0);
         let mut ewma = EwmaEstimator::new(0.3);
         let mut window = WindowedEstimator::new(5);
         let mut cons = ConservativeEstimator::new(EwmaEstimator::new(0.3), e);
-        for &v in &values {
+        let n = rng.gen_range(1..50usize);
+        for _ in 0..n {
+            let v = rng.gen_range(-10.0..1e6);
             ewma.observe(v);
             window.observe(v);
             cons.observe(v);
         }
-        prop_assert!(ewma.estimate_bps().unwrap() >= 0.0);
-        prop_assert!(window.estimate_bps().unwrap() >= 0.0);
-        prop_assert!(cons.estimate_bps().unwrap() <= ewma.estimate_bps().unwrap() + 1e-9);
+        assert!(ewma.estimate_bps().unwrap() >= 0.0);
+        assert!(window.estimate_bps().unwrap() >= 0.0);
+        assert!(cons.estimate_bps().unwrap() <= ewma.estimate_bps().unwrap() + 1e-9);
     }
+}
 
-    /// Path sets always produce the requested number of paths with positive
-    /// mean bandwidth.
-    #[test]
-    fn path_sets_well_formed(n in 1usize..200, seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Path sets always produce the requested number of paths with positive
+/// mean bandwidth.
+#[test]
+fn path_sets_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0x9A7);
+    for _ in 0..32 {
+        let n = rng.gen_range(1..200usize);
         let set = PathSet::generate(
             n,
             &NlanrBandwidthModel::paper_default(),
             VariabilityModel::measured_path_low(),
             &mut rng,
         );
-        prop_assert_eq!(set.len(), n);
-        prop_assert!(set.iter().all(|p| p.mean_bps() > 0.0));
+        assert_eq!(set.len(), n);
+        assert!(set.iter().all(|p| p.mean_bps() > 0.0));
     }
 }

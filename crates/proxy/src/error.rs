@@ -52,7 +52,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let io_err = ProxyError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let io_err = ProxyError::from(io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
         assert!(io_err.source().is_some());
         assert!(ProxyError::UnknownObject("clip".into())

@@ -82,10 +82,13 @@ impl OriginServer {
                     format!("object `{}` has zero size", o.name),
                 ));
             }
-            if !(o.bitrate_bps > 0.0) {
+            if !o.bitrate_bps.is_finite() || o.bitrate_bps <= 0.0 {
                 return Err(ProxyError::InvalidConfig(
                     "bitrate_bps",
-                    format!("object `{}` has non-positive bit-rate", o.name),
+                    format!(
+                        "object `{}` has a non-finite or non-positive bit-rate",
+                        o.name
+                    ),
                 ));
             }
         }

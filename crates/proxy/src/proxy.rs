@@ -2,7 +2,9 @@
 
 use crate::content::verify_content;
 use crate::error::ProxyError;
-use crate::protocol::{read_request, read_response, write_request, write_response, Request, Response};
+use crate::protocol::{
+    read_request, read_response, write_request, write_response, Request, Response,
+};
 use crate::store::PrefixStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -194,7 +196,7 @@ fn handle_client(stream: TcpStream, state: &ProxyState) -> Result<(), ProxyError
     let request = read_request(&mut reader)?;
     let name = request.name.clone();
 
-    let cached = state.store.get(&name).unwrap_or_else(Bytes::new);
+    let cached = state.store.get(&name).unwrap_or_default();
     let known_meta = state.metadata.lock().get(&name).copied();
 
     // Open an origin connection when the object is not fully cached or its

@@ -68,7 +68,11 @@ fn warm_proxy_hides_the_startup_delay() {
     let cold = client.fetch(proxy.addr(), "clip").unwrap();
     assert_eq!(cold.bytes, 240_000);
     assert!(cold.content_ok);
-    assert!(cold.startup_delay_secs > 0.3, "cold delay {}", cold.startup_delay_secs);
+    assert!(
+        cold.startup_delay_secs > 0.3,
+        "cold delay {}",
+        cold.startup_delay_secs
+    );
 
     // The PB policy should now hold the bandwidth-deficit prefix
     // ((r - b)/r = 2/3 of the object).
@@ -166,5 +170,9 @@ fn capacity_pressure_evicts_lower_utility_objects() {
         "popular prefix {popular} should be at least the rare prefix {rare}"
     );
     let stats = proxy.stats();
-    assert!(stats.cached_bytes <= 100_000 + 16_384, "cached {}", stats.cached_bytes);
+    assert!(
+        stats.cached_bytes <= 100_000 + 16_384,
+        "cached {}",
+        stats.cached_bytes
+    );
 }

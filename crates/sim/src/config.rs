@@ -2,13 +2,12 @@
 
 use sc_cache::policy::PolicyKind;
 use sc_workload::WorkloadConfig;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Which bandwidth-variability model drives the instantaneous bandwidth of
 /// each request (Section 3.1 / Figures 3–4 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VariabilityKind {
     /// No variability: each path's bandwidth is constant over time
     /// (the assumption behind Figures 5, 6 and 10).
@@ -81,7 +80,7 @@ impl fmt::Display for SimError {
 impl Error for SimError {}
 
 /// Full description of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationConfig {
     /// Workload (catalog + request trace) configuration.
     pub workload: WorkloadConfig,

@@ -1,11 +1,10 @@
 //! The joint cache + origin delivery model (Section 2.1 of the paper).
 
 use sc_cache::{service_delay_secs, stream_quality, ObjectMeta};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of delivering one request jointly from the cache and the origin
 /// server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeliveryOutcome {
     /// Startup delay in seconds before full-quality playout can begin.
     pub service_delay_secs: f64,

@@ -28,12 +28,7 @@ pub fn policy_comparison_figure(
         PolicyKind::PartialBandwidth,
         PolicyKind::IntegralBandwidth,
     ];
-    let series = sweep_policies(
-        &base,
-        &policies,
-        &scale.cache_fractions(),
-        scale.runs(),
-    )?;
+    let series = sweep_policies(&base, &policies, &scale.cache_fractions(), scale.runs())?;
     let mut fig = FigureResult::new(id, title, "cache fraction");
     fig.series = series;
     Ok(fig)
@@ -108,8 +103,7 @@ pub fn fig6(scale: ExperimentScale) -> Result<FigureResult, SimError> {
     for policy in [PolicyKind::PartialBandwidth, PolicyKind::IntegralBandwidth] {
         for &fraction in &fractions {
             let points = sweep_zipf_alpha(&base, policy, fraction, &alphas, scale.runs())?;
-            let mut series =
-                FigureSeries::new(format!("{} C={:.3}", policy.label(), fraction));
+            let mut series = FigureSeries::new(format!("{} C={:.3}", policy.label(), fraction));
             for (alpha, metrics) in points {
                 series.push(alpha, metrics);
             }

@@ -18,10 +18,9 @@ pub use value_figures::{fig10, fig11, fig12, value_comparison_figure};
 use crate::config::SimulationConfig;
 use crate::sweep::{PAPER_CACHE_FRACTIONS, QUICK_CACHE_FRACTIONS};
 use sc_workload::WorkloadConfig;
-use serde::{Deserialize, Serialize};
 
 /// How much compute to spend on an experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExperimentScale {
     /// Full paper scale: 5,000 objects, 100,000 requests per run, several
     /// replicated runs per data point, all six cache sizes.

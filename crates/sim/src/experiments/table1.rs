@@ -3,12 +3,11 @@
 use crate::config::SimError;
 use crate::experiments::ExperimentScale;
 use sc_workload::{CatalogStats, TraceStats};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The reproduced Table 1: the paper's nominal workload parameters next to
 /// the statistics measured on an actually generated workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table1 {
     /// Configured number of objects.
     pub objects: usize,

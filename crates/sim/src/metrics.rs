@@ -1,7 +1,6 @@
 //! The performance metrics of Section 3.3 of the paper.
 
 use crate::delivery::DeliveryOutcome;
-use serde::{Deserialize, Serialize};
 
 /// Aggregated metrics over the measurement phase of a simulation run.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 ///   playout;
 /// * **total added value** — summed value of requests that could be played
 ///   immediately (Section 2.6).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Metrics {
     /// Number of requests measured.
     pub requests: u64,

@@ -1,12 +1,11 @@
 //! Structured experiment results and plain-text report formatting.
 
 use crate::metrics::Metrics;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One measured point of a figure: an x-coordinate (cache fraction,
 /// estimator `e`, Zipf α, …) plus the averaged metrics at that point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FigurePoint {
     /// The x-axis value.
     pub x: f64,
@@ -15,7 +14,7 @@ pub struct FigurePoint {
 }
 
 /// One curve of a figure (e.g. one caching policy).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureSeries {
     /// Curve label (usually the policy name).
     pub label: String,
@@ -39,7 +38,7 @@ impl FigureSeries {
 }
 
 /// A complete reproduced figure or table: metadata plus one or more series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureResult {
     /// Identifier, e.g. `"fig5"` or `"table1"`.
     pub id: String,

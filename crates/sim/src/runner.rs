@@ -8,10 +8,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
 use sc_workload::{Catalog, MediaObject, RequestTrace};
-use serde::{Deserialize, Serialize};
 
 /// Result of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunResult {
     /// Metrics collected over the measurement (post-warm-up) phase.
     pub metrics: Metrics,
@@ -131,10 +130,7 @@ pub fn run_replicated(config: &SimulationConfig, runs: usize) -> Result<Metrics,
 ///
 /// Propagates validation errors; returns [`SimError::NoRuns`] when `runs`
 /// is zero.
-pub fn run_comparison(
-    configs: &[SimulationConfig],
-    runs: usize,
-) -> Result<Vec<Metrics>, SimError> {
+pub fn run_comparison(configs: &[SimulationConfig], runs: usize) -> Result<Vec<Metrics>, SimError> {
     if runs == 0 {
         return Err(SimError::NoRuns);
     }
@@ -221,10 +217,7 @@ mod tests {
     fn replication_requires_at_least_one_run() {
         let cfg = small(PolicyKind::PartialBandwidth, 0.05);
         assert!(matches!(run_replicated(&cfg, 0), Err(SimError::NoRuns)));
-        assert!(matches!(
-            run_comparison(&[cfg], 0),
-            Err(SimError::NoRuns)
-        ));
+        assert!(matches!(run_comparison(&[cfg], 0), Err(SimError::NoRuns)));
     }
 
     #[test]

@@ -30,11 +30,7 @@ pub fn sweep_cache_size(
 ) -> Result<FigureSeries, SimError> {
     let mut series = FigureSeries::new(policy.label());
     for &fraction in fractions {
-        let config = SimulationConfig {
-            policy,
-            ..*base
-        }
-        .with_cache_fraction(fraction);
+        let config = SimulationConfig { policy, ..*base }.with_cache_fraction(fraction);
         let metrics = run_replicated(&config, runs)?;
         series.push(fraction, metrics);
     }
@@ -78,11 +74,7 @@ pub fn sweep_estimator(
         } else {
             PolicyKind::HybridPartialBandwidth { e }
         };
-        let config = SimulationConfig {
-            policy,
-            ..*base
-        }
-        .with_cache_fraction(cache_fraction);
+        let config = SimulationConfig { policy, ..*base }.with_cache_fraction(cache_fraction);
         out.push((e, run_replicated(&config, runs)?));
     }
     Ok(out)
@@ -103,11 +95,7 @@ pub fn sweep_zipf_alpha(
 ) -> Result<Vec<(f64, Metrics)>, SimError> {
     let mut out = Vec::with_capacity(alphas.len());
     for &alpha in alphas {
-        let mut config = SimulationConfig {
-            policy,
-            ..*base
-        }
-        .with_cache_fraction(cache_fraction);
+        let mut config = SimulationConfig { policy, ..*base }.with_cache_fraction(cache_fraction);
         config.workload.trace.zipf_alpha = alpha;
         out.push((alpha, run_replicated(&config, runs)?));
     }
@@ -163,18 +151,10 @@ mod tests {
 
     #[test]
     fn zipf_sweep_gains_from_locality() {
-        let points = sweep_zipf_alpha(
-            &base(),
-            PolicyKind::PartialBandwidth,
-            0.05,
-            &[0.5, 1.2],
-            1,
-        )
-        .unwrap();
+        let points =
+            sweep_zipf_alpha(&base(), PolicyKind::PartialBandwidth, 0.05, &[0.5, 1.2], 1).unwrap();
         assert_eq!(points.len(), 2);
         // Stronger locality (higher alpha) should not reduce traffic savings.
-        assert!(
-            points[1].1.traffic_reduction_ratio >= points[0].1.traffic_reduction_ratio - 0.02
-        );
+        assert!(points[1].1.traffic_reduction_ratio >= points[0].1.traffic_reduction_ratio - 0.02);
     }
 }

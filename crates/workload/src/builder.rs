@@ -7,10 +7,9 @@ use crate::value::ValueModel;
 use crate::WorkloadError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Complete configuration of a synthetic workload (catalog + trace).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WorkloadConfig {
     /// Catalog (object population) configuration.
     pub catalog: CatalogConfig,
@@ -18,16 +17,6 @@ pub struct WorkloadConfig {
     pub trace: TraceConfig,
     /// Seed for the deterministic random number generator.
     pub seed: u64,
-}
-
-impl Default for WorkloadConfig {
-    fn default() -> Self {
-        WorkloadConfig {
-            catalog: CatalogConfig::default(),
-            trace: TraceConfig::default(),
-            seed: 0,
-        }
-    }
 }
 
 impl WorkloadConfig {

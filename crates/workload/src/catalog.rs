@@ -5,14 +5,13 @@ use crate::object::{MediaObject, ObjectId};
 use crate::value::{ValueAssigner, ValueModel};
 use crate::WorkloadError;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a synthetic object catalog.
 ///
 /// Defaults match Table 1 of the paper (5,000 objects, 48 KB/s CBR encoding,
 /// lognormal durations in minutes with µ = 3.85 and σ = 0.56, uniform
 /// $1–$10 values).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatalogConfig {
     /// Number of unique objects (`N`).
     pub objects: usize,
@@ -23,7 +22,6 @@ pub struct CatalogConfig {
     /// CBR bit-rate of every object in bytes per second.
     pub bitrate_bps: f64,
     /// Value model used for the value-based caching objective.
-    #[serde(skip)]
     pub value_model: ValueModel,
 }
 
@@ -92,7 +90,7 @@ impl CatalogConfig {
 /// assert!(total_gb > 10.0, "total unique bytes should be tens of GB");
 /// # Ok::<(), sc_workload::WorkloadError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Catalog {
     objects: Vec<MediaObject>,
 }

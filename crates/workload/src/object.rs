@@ -1,6 +1,5 @@
 //! Streaming-media object descriptors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a streaming media object within a catalog.
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert_eq!(id.index(), 7);
 /// assert_eq!(format!("{id}"), "obj#7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(u32);
 
 impl ObjectId {
@@ -62,7 +61,7 @@ impl From<u32> for ObjectId {
 /// assert_eq!(obj.size_bytes(), 600.0 * 48_000.0);
 /// assert!((obj.duration_minutes() - 10.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MediaObject {
     /// Identifier of the object (dense, popularity-rank ordered).
     pub id: ObjectId,

@@ -2,7 +2,6 @@
 
 use crate::catalog::Catalog;
 use crate::trace::RequestTrace;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of an object catalog.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(stats.mean_duration_minutes > 40.0);
 /// # Ok::<(), sc_workload::WorkloadError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatalogStats {
     /// Number of unique objects.
     pub objects: usize,
@@ -70,7 +69,7 @@ impl CatalogStats {
 }
 
 /// Summary statistics of a request trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Number of requests.
     pub requests: usize,

@@ -6,10 +6,9 @@ use crate::poisson::PoissonProcess;
 use crate::zipf::ZipfLike;
 use crate::WorkloadError;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A single client request for a streaming media object.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Arrival time in seconds since the start of the trace.
     pub time_secs: f64,
@@ -21,7 +20,7 @@ pub struct Request {
 ///
 /// Defaults match Table 1 of the paper: 100,000 Poisson-arriving requests
 /// whose target objects follow a Zipf-like distribution with α = 0.73.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceConfig {
     /// Number of requests to generate.
     pub requests: usize,
@@ -89,7 +88,7 @@ impl TraceConfig {
 /// assert!(trace.requests().windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
 /// # Ok::<(), sc_workload::WorkloadError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestTrace {
     requests: Vec<Request>,
 }
@@ -251,9 +250,7 @@ mod tests {
             .requests()
             .windows(2)
             .all(|w| w[0].time_secs <= w[1].time_secs));
-        assert!(trace
-            .iter()
-            .all(|r| r.object.index() < catalog.len()));
+        assert!(trace.iter().all(|r| r.object.index() < catalog.len()));
     }
 
     #[test]

@@ -205,7 +205,11 @@ mod tests {
 
     #[test]
     fn degenerate_uniform_returns_single_point() {
-        let a = ValueAssigner::new(ValueModel::Uniform { low: 2.0, high: 2.0 }).unwrap();
+        let a = ValueAssigner::new(ValueModel::Uniform {
+            low: 2.0,
+            high: 2.0,
+        })
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(a.value_for_rank(&mut rng, 1, 10), 2.0);
     }

@@ -1,104 +1,151 @@
-//! Property-based tests for the workload generators.
+//! Property-style tests for the workload generators.
+//!
+//! Seeded-loop property tests (the registry-less build environment has no
+//! `proptest`): every property draws random cases from a fixed-seed
+//! [`StdRng`], so failures reproduce deterministically.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sc_workload::{
     Catalog, CatalogConfig, LogNormal, PoissonProcess, RequestTrace, TraceConfig, ValueAssigner,
     ValueModel, WorkloadBuilder, ZipfLike,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Zipf probabilities always sum to one and are non-increasing in rank.
-    #[test]
-    fn zipf_is_a_valid_distribution(n in 1usize..400, alpha in 0.0f64..2.5) {
+/// Zipf probabilities always sum to one and are non-increasing in rank.
+#[test]
+fn zipf_is_a_valid_distribution() {
+    let mut rng = StdRng::seed_from_u64(0x21BF);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..400usize);
+        let alpha = rng.gen_range(0.0..2.5);
         let z = ZipfLike::new(n, alpha).unwrap();
         let mut total = 0.0;
         let mut prev = f64::INFINITY;
         for r in 1..=n {
             let p = z.probability(r);
-            prop_assert!(p >= 0.0);
-            prop_assert!(p <= prev + 1e-12);
+            assert!(p >= 0.0);
+            assert!(p <= prev + 1e-12);
             prev = p;
             total += p;
         }
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!((total - 1.0).abs() < 1e-6);
     }
+}
 
-    /// Sampled ranks are always within range.
-    #[test]
-    fn zipf_samples_in_range(n in 1usize..200, alpha in 0.0f64..2.0, seed in any::<u64>()) {
+/// Sampled ranks are always within range.
+#[test]
+fn zipf_samples_in_range() {
+    let mut rng = StdRng::seed_from_u64(0x21F5);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..200usize);
+        let alpha = rng.gen_range(0.0..2.0);
         let z = ZipfLike::new(n, alpha).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
             let r = z.sample(&mut rng);
-            prop_assert!(r >= 1 && r <= n);
+            assert!(r >= 1 && r <= n);
         }
     }
+}
 
-    /// Lognormal samples are strictly positive and finite.
-    #[test]
-    fn lognormal_samples_positive(mu in -2.0f64..5.0, sigma in 0.0f64..1.5, seed in any::<u64>()) {
+/// Lognormal samples are strictly positive and finite.
+#[test]
+fn lognormal_samples_positive() {
+    let mut rng = StdRng::seed_from_u64(0x106);
+    for _ in 0..64 {
+        let mu = rng.gen_range(-2.0..5.0);
+        let sigma = rng.gen_range(0.0..1.5);
         let ln = LogNormal::new(mu, sigma).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
             let x = ln.sample(&mut rng);
-            prop_assert!(x > 0.0);
-            prop_assert!(x.is_finite());
+            assert!(x > 0.0);
+            assert!(x.is_finite());
         }
     }
+}
 
-    /// Poisson arrival times are strictly increasing.
-    #[test]
-    fn poisson_times_increasing(rate in 0.01f64..100.0, seed in any::<u64>()) {
+/// Poisson arrival times are strictly increasing.
+#[test]
+fn poisson_times_increasing() {
+    let mut rng = StdRng::seed_from_u64(0x9015);
+    for _ in 0..64 {
+        let rate = rng.gen_range(0.01..100.0);
         let p = PoissonProcess::new(rate).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         let times = p.arrival_times(&mut rng, 200);
-        prop_assert!(times.windows(2).all(|w| w[1] >= w[0]));
-        prop_assert!(times[0] > 0.0);
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        assert!(times[0] > 0.0);
     }
+}
 
-    /// Values always respect the configured bounds.
-    #[test]
-    fn values_respect_bounds(low in 0.0f64..5.0, extra in 0.0f64..10.0, seed in any::<u64>()) {
-        let high = low + extra;
+/// Values always respect the configured bounds.
+#[test]
+fn values_respect_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xBA1);
+    for _ in 0..64 {
+        let low = rng.gen_range(0.0..5.0);
+        let high = low + rng.gen_range(0.0..10.0);
         let a = ValueAssigner::new(ValueModel::Uniform { low, high }).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         for v in a.assign(&mut rng, 100) {
-            prop_assert!(v >= low - 1e-12 && v <= high + 1e-12);
+            assert!(v >= low - 1e-12 && v <= high + 1e-12);
         }
     }
+}
 
-    /// Generated traces reference only objects from the catalog and are
-    /// sorted by time.
-    #[test]
-    fn traces_are_well_formed(objects in 1usize..100, requests in 1usize..500, seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Generated traces reference only objects from the catalog and are sorted
+/// by time.
+#[test]
+fn traces_are_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0x7ACE);
+    for _ in 0..32 {
+        let objects = rng.gen_range(1..100usize);
+        let requests = rng.gen_range(1..500usize);
         let catalog = Catalog::generate(
-            &CatalogConfig { objects, ..CatalogConfig::small() },
+            &CatalogConfig {
+                objects,
+                ..CatalogConfig::small()
+            },
             &mut rng,
-        ).unwrap();
+        )
+        .unwrap();
         let trace = RequestTrace::generate(
             &catalog,
-            &TraceConfig { requests, ..TraceConfig::small() },
+            &TraceConfig {
+                requests,
+                ..TraceConfig::small()
+            },
             &mut rng,
-        ).unwrap();
-        prop_assert_eq!(trace.len(), requests);
-        prop_assert!(trace.iter().all(|r| r.object.index() < objects));
-        prop_assert!(trace.requests().windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+        )
+        .unwrap();
+        assert_eq!(trace.len(), requests);
+        assert!(trace.iter().all(|r| r.object.index() < objects));
+        assert!(trace
+            .requests()
+            .windows(2)
+            .all(|w| w[0].time_secs <= w[1].time_secs));
         let counts = trace.request_counts(objects);
         let total: u64 = counts.iter().sum();
-        prop_assert_eq!(total as usize, requests);
+        assert_eq!(total as usize, requests);
     }
+}
 
-    /// The builder is deterministic in its seed.
-    #[test]
-    fn builder_deterministic(seed in any::<u64>()) {
-        let a = WorkloadBuilder::new().objects(30).requests(100).seed(seed).build().unwrap();
-        let b = WorkloadBuilder::new().objects(30).requests(100).seed(seed).build().unwrap();
-        prop_assert_eq!(a.trace, b.trace);
-        prop_assert_eq!(a.catalog, b.catalog);
+/// The builder is deterministic in its seed.
+#[test]
+fn builder_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xD373);
+    for _ in 0..16 {
+        let seed: u64 = rng.gen();
+        let a = WorkloadBuilder::new()
+            .objects(30)
+            .requests(100)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let b = WorkloadBuilder::new()
+            .objects(30)
+            .requests(100)
+            .seed(seed)
+            .build()
+            .unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.catalog, b.catalog);
     }
 }

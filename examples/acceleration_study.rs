@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("-- cache size sweep (PB policy, measured-path variability) --");
-    println!("{:>10} {:>10} {:>12} {:>10}", "cache", "traffic", "delay(s)", "quality");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "cache", "traffic", "delay(s)", "quality"
+    );
     let series = sweep_cache_size(
         &base,
         PolicyKind::PartialBandwidth,
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("-- estimator sweep at a 5% cache (PB(e), NLANR-like variability) --");
-    println!("{:>10} {:>10} {:>12} {:>10}", "e", "traffic", "delay(s)", "quality");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "e", "traffic", "delay(s)", "quality"
+    );
     let nlanr = SimulationConfig {
         variability: VariabilityKind::NlanrLike,
         ..SimulationConfig::small()

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         rate_limit_bps: 160_000.0,
     })?;
-    println!("origin listening on {} (160 KB/s per connection)", origin.addr());
+    println!(
+        "origin listening on {} (160 KB/s per connection)",
+        origin.addr()
+    );
 
     let proxy = CachingProxy::start(ProxyConfig::new(origin.addr(), 5_000_000.0))?;
     println!("caching proxy (PB policy) on {}", proxy.addr());

@@ -1,0 +1,272 @@
+//! The regression floor for every future scaling/perf PR:
+//!
+//! * seeded determinism — identical configurations produce byte-identical
+//!   metrics, different seeds produce different metrics;
+//! * golden metrics — a fixed small scenario is asserted against
+//!   checked-in values, so any behavioural change to the workload
+//!   generator, bandwidth models, cache engine or simulator loop shows up
+//!   as a diff here (update the constants deliberately, never casually);
+//! * cross-policy sanity — the offline optimal allocation dominates every
+//!   online policy, and PB beats the network-oblivious baselines on the
+//!   paper's headline metric (startup delay) at small cache sizes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use streamcache::cache::policy::PolicyKind;
+use streamcache::cache::{
+    average_service_delay, optimal_partial_allocation, CacheEngine, ObjectKey, ObjectMeta,
+    OfflineObject,
+};
+use streamcache::netmodel::{NlanrBandwidthModel, PathSet, VariabilityModel};
+use streamcache::sim::{run_simulation, Metrics, SimulationConfig};
+use streamcache::workload::WorkloadBuilder;
+
+fn small(policy: PolicyKind, cache_fraction: f64) -> SimulationConfig {
+    SimulationConfig {
+        policy,
+        ..SimulationConfig::small()
+    }
+    .with_cache_fraction(cache_fraction)
+}
+
+/// Two runs of the same configuration must agree bit-for-bit, and a
+/// different seed must actually change the outcome.
+#[test]
+fn same_seed_produces_byte_identical_metrics() {
+    let config = small(PolicyKind::PartialBandwidth, 0.05);
+    let a = run_simulation(&config).unwrap().metrics;
+    let b = run_simulation(&config).unwrap().metrics;
+    assert_eq!(a, b, "identical configs diverged");
+    // PartialEq on f64 is what we want here, but make bit-identity explicit
+    // for the float fields that feed the golden values.
+    assert_eq!(
+        a.traffic_reduction_ratio.to_bits(),
+        b.traffic_reduction_ratio.to_bits()
+    );
+    assert_eq!(
+        a.avg_service_delay_secs.to_bits(),
+        b.avg_service_delay_secs.to_bits()
+    );
+    assert_eq!(
+        a.avg_stream_quality.to_bits(),
+        b.avg_stream_quality.to_bits()
+    );
+    assert_eq!(a.total_added_value.to_bits(), b.total_added_value.to_bits());
+
+    let mut reseeded = config;
+    reseeded.seed += 1;
+    let c = run_simulation(&reseeded).unwrap().metrics;
+    assert_ne!(a, c, "changing the seed did not change the metrics");
+}
+
+fn assert_close(actual: f64, golden: f64, what: &str) {
+    let tolerance = golden.abs().max(1.0) * 1e-9;
+    assert!(
+        (actual - golden).abs() <= tolerance,
+        "{what}: got {actual}, golden {golden} — a behavioural change reached \
+         the simulator; if intentional, update the golden values in this test"
+    );
+}
+
+fn assert_golden(actual: Metrics, golden: Metrics) {
+    assert_eq!(actual.requests, golden.requests, "requests");
+    assert_close(
+        actual.traffic_reduction_ratio,
+        golden.traffic_reduction_ratio,
+        "traffic_reduction_ratio",
+    );
+    assert_close(
+        actual.avg_service_delay_secs,
+        golden.avg_service_delay_secs,
+        "avg_service_delay_secs",
+    );
+    assert_close(
+        actual.avg_stream_quality,
+        golden.avg_stream_quality,
+        "avg_stream_quality",
+    );
+    assert_close(
+        actual.total_added_value,
+        golden.total_added_value,
+        "total_added_value",
+    );
+    assert_close(actual.hit_ratio, golden.hit_ratio, "hit_ratio");
+    assert_close(
+        actual.immediate_ratio,
+        golden.immediate_ratio,
+        "immediate_ratio",
+    );
+}
+
+/// End-to-end golden regression: seeded workload → PathSet → CacheEngine →
+/// simulator, asserted against checked-in metric values for two policies.
+///
+/// The scenario is `SimulationConfig::small()` (500 objects, 5,000
+/// requests, constant bandwidth, seed 1) at a 5% cache. The golden values
+/// were produced by this code; their exact magnitudes are not meaningful,
+/// their *stability* is.
+#[test]
+fn golden_metrics_small_scenario() {
+    let pb = run_simulation(&small(PolicyKind::PartialBandwidth, 0.05))
+        .unwrap()
+        .metrics;
+    assert_golden(
+        pb,
+        Metrics {
+            requests: 2500,
+            traffic_reduction_ratio: 0.06756428265714427,
+            avg_service_delay_secs: 1124.8637681579226,
+            avg_stream_quality: 0.9037905439562554,
+            total_added_value: 9829.267454113455,
+            hit_ratio: 0.144,
+            immediate_ratio: 0.78,
+        },
+    );
+
+    let integral = run_simulation(&small(PolicyKind::IntegralFrequency, 0.05))
+        .unwrap()
+        .metrics;
+    assert_golden(
+        integral,
+        Metrics {
+            requests: 2500,
+            traffic_reduction_ratio: 0.3380915058241122,
+            avg_service_delay_secs: 2013.3189995663856,
+            avg_stream_quality: 0.8758244325884198,
+            total_added_value: 9633.25860709988,
+            hit_ratio: 0.3632,
+            immediate_ratio: 0.7624,
+        },
+    );
+}
+
+/// Rate-weighted delay-reduction utility of an allocation:
+/// `Σ λ_i · (d_i(0) − d_i(x_i))`, the objective the fractional-knapsack
+/// optimum of Section 2.3 maximises.
+fn total_utility(objects: &[OfflineObject], allocation: &[f64]) -> f64 {
+    objects
+        .iter()
+        .zip(allocation)
+        .map(|(o, &x)| {
+            let none = o.meta.service_delay(o.bandwidth_bps, 0.0);
+            let with = o.meta.service_delay(o.bandwidth_bps, x);
+            o.arrival_rate * (none - with)
+        })
+        .sum()
+}
+
+fn to_meta(obj: &streamcache::workload::MediaObject) -> ObjectMeta {
+    ObjectMeta::new(
+        ObjectKey::new(obj.id.index() as u64),
+        obj.duration_secs,
+        obj.bitrate_bps,
+        obj.value,
+    )
+}
+
+/// On a small workload, the offline optimal allocation achieves at least
+/// the total (delay-reduction) utility of every online policy, because any
+/// online allocation is a feasible solution of the same fractional
+/// knapsack.
+#[test]
+fn optimal_allocation_dominates_every_online_policy_on_total_utility() {
+    let workload = WorkloadBuilder::new()
+        .objects(200)
+        .requests(4_000)
+        .seed(17)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let paths = PathSet::generate(
+        200,
+        &NlanrBandwidthModel::paper_default(),
+        VariabilityModel::constant(),
+        &mut rng,
+    );
+    let capacity = 0.04 * workload.catalog.total_bytes();
+    let counts = workload.trace.request_counts(workload.catalog.len());
+    let offline: Vec<OfflineObject> = workload
+        .catalog
+        .iter()
+        .map(|o| {
+            OfflineObject::new(
+                to_meta(o),
+                counts[o.id.index()] as f64,
+                paths.mean_bps(o.id.index()),
+            )
+        })
+        .collect();
+
+    let optimal_alloc = optimal_partial_allocation(&offline, capacity).unwrap();
+    let optimal_utility = total_utility(&offline, &optimal_alloc);
+    assert!(
+        optimal_utility > 0.0,
+        "optimal allocation should add utility"
+    );
+
+    for kind in [
+        PolicyKind::PartialBandwidth,
+        PolicyKind::IntegralBandwidth,
+        PolicyKind::IntegralFrequency,
+        PolicyKind::HybridPartialBandwidth { e: 0.5 },
+        PolicyKind::Lru,
+        PolicyKind::Lfu,
+    ] {
+        let mut cache = CacheEngine::new(capacity, kind.build()).unwrap();
+        for request in workload.trace.iter() {
+            let obj = workload.catalog.object(request.object);
+            cache.on_access(&to_meta(obj), paths.mean_bps(obj.id.index()));
+        }
+        let online_alloc: Vec<f64> = workload
+            .catalog
+            .iter()
+            .map(|o| cache.cached_bytes(ObjectKey::new(o.id.index() as u64)))
+            .collect();
+        let online_utility = total_utility(&offline, &online_alloc);
+        assert!(
+            optimal_utility + 1e-6 >= online_utility,
+            "offline optimum {optimal_utility} beaten by online {} ({online_utility})",
+            kind.label()
+        );
+        // Cross-check through the delay objective as well.
+        let optimal_delay = average_service_delay(&offline, &optimal_alloc).unwrap();
+        let online_delay = average_service_delay(&offline, &online_alloc).unwrap();
+        assert!(optimal_delay <= online_delay + 1e-6);
+    }
+}
+
+/// The paper's headline claim at small cache sizes: network-aware partial
+/// caching (PB) accelerates delivery — its average startup delay is well
+/// below the network-oblivious LRU baseline for the same cache budget.
+///
+/// (On the *traffic-reduction* axis the ordering is reversed by design:
+/// PB stores only minimal deficit prefixes, so integral policies such as
+/// LRU/IF always reduce more bytes — the seed's figure tests pin that
+/// ordering. Delay is the metric the paper optimises and the one PB wins.)
+#[test]
+fn pb_beats_lru_on_service_delay_at_small_cache_sizes() {
+    for fraction in [0.01, 0.02, 0.05] {
+        let pb = run_simulation(&small(PolicyKind::PartialBandwidth, fraction))
+            .unwrap()
+            .metrics;
+        let lru = run_simulation(&small(PolicyKind::Lru, fraction))
+            .unwrap()
+            .metrics;
+        assert!(
+            pb.avg_service_delay_secs < lru.avg_service_delay_secs,
+            "fraction {fraction}: PB delay {} should beat LRU delay {}",
+            pb.avg_service_delay_secs,
+            lru.avg_service_delay_secs
+        );
+        // The acceleration is substantial, not marginal: at least 20% less
+        // average startup delay for the same cache budget.
+        assert!(
+            pb.avg_service_delay_secs < 0.8 * lru.avg_service_delay_secs,
+            "fraction {fraction}: PB {} vs LRU {} is not a clear win",
+            pb.avg_service_delay_secs,
+            lru.avg_service_delay_secs
+        );
+        // And PB buys more stream quality, too.
+        assert!(pb.avg_stream_quality >= lru.avg_stream_quality - 1e-9);
+    }
+}

@@ -1,6 +1,8 @@
 //! Integration: bandwidth estimators feeding caching decisions, and the
 //! sweep helpers used by the experiment harness.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use streamcache::cache::policy::{PartialBandwidth, PolicyKind};
 use streamcache::cache::{CacheEngine, ObjectKey, ObjectMeta};
 use streamcache::netmodel::{
@@ -9,8 +11,6 @@ use streamcache::netmodel::{
 };
 use streamcache::sim::sweep::{sweep_cache_size, sweep_policies};
 use streamcache::sim::SimulationConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A passive EWMA estimator converges near the true mean bandwidth of a
 /// variable path, so the PB allocation it drives converges near the

@@ -29,9 +29,7 @@ fn fig5_constant_bandwidth_shape() {
     }
     // PB's delay advantage over IF holds at every cache size.
     for (pb, iff) in pb_s.points.iter().zip(&if_s.points) {
-        assert!(
-            pb.metrics.avg_service_delay_secs <= iff.metrics.avg_service_delay_secs + 1.0
-        );
+        assert!(pb.metrics.avg_service_delay_secs <= iff.metrics.avg_service_delay_secs + 1.0);
     }
 }
 
@@ -41,8 +39,20 @@ fn fig7_high_variability_erases_pb_advantage() {
     let variable = fig7(ExperimentScale::Test).unwrap();
     // Delays increase for every policy when bandwidth varies wildly.
     for label in ["IF", "PB", "IB"] {
-        let c = constant.series(label).unwrap().points.last().unwrap().metrics;
-        let v = variable.series(label).unwrap().points.last().unwrap().metrics;
+        let c = constant
+            .series(label)
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .metrics;
+        let v = variable
+            .series(label)
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .metrics;
         assert!(
             v.avg_service_delay_secs >= c.avg_service_delay_secs - 1.0,
             "{label}: variable {} vs constant {}",
@@ -53,8 +63,20 @@ fn fig7_high_variability_erases_pb_advantage() {
     }
     // Under high variability IB is at least competitive with PB on delay
     // (the paper: "IB caching is no worse than PB caching").
-    let pb = variable.series("PB").unwrap().points.last().unwrap().metrics;
-    let ib = variable.series("IB").unwrap().points.last().unwrap().metrics;
+    let pb = variable
+        .series("PB")
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .metrics;
+    let ib = variable
+        .series("IB")
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .metrics;
     assert!(
         ib.avg_service_delay_secs <= pb.avg_service_delay_secs * 1.35 + 5.0,
         "IB {} should be competitive with PB {}",

@@ -2,6 +2,8 @@
 //! and bandwidth model, and check the optimal-offline solver against the
 //! online policies.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use streamcache::cache::policy::{PartialBandwidth, PolicyKind};
 use streamcache::cache::{
     average_service_delay, optimal_partial_allocation, CacheEngine, ObjectKey, ObjectMeta,
@@ -9,16 +11,8 @@ use streamcache::cache::{
 };
 use streamcache::netmodel::{NlanrBandwidthModel, PathSet, VariabilityModel};
 use streamcache::workload::WorkloadBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn setup(
-    objects: usize,
-    requests: usize,
-) -> (
-    streamcache::workload::Workload,
-    PathSet,
-) {
+fn setup(objects: usize, requests: usize) -> (streamcache::workload::Workload, PathSet) {
     let workload = WorkloadBuilder::new()
         .objects(objects)
         .requests(requests)
@@ -58,19 +52,27 @@ fn online_pb_tracks_request_frequencies_and_respects_capacity() {
     assert_eq!(stats.requests, 3_000);
     assert!(stats.traffic_reduction_ratio() > 0.0);
     assert!(stats.traffic_reduction_ratio() < 1.0);
-    // Popular objects should be cached: take the ten most requested objects
-    // whose bandwidth is insufficient and check most hold a prefix.
+    // High-utility objects should be cached. PB ranks by `F/b` (not raw
+    // frequency): take the ten starved objects with the highest observed
+    // count-to-bandwidth ratio and check most hold a prefix.
     let counts = workload.trace.request_counts(workload.catalog.len());
     let mut ranked: Vec<usize> = (0..workload.catalog.len())
         .filter(|&i| paths.mean_bps(i) < workload.catalog.as_slice()[i].bitrate_bps)
         .collect();
-    ranked.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+    ranked.sort_by(|&a, &b| {
+        let ua = counts[a] as f64 / paths.mean_bps(a);
+        let ub = counts[b] as f64 / paths.mean_bps(b);
+        ub.partial_cmp(&ua).expect("utilities are finite")
+    });
     let cached_hot = ranked
         .iter()
         .take(10)
         .filter(|&&i| cache.cached_bytes(ObjectKey::new(i as u64)) > 0.0)
         .count();
-    assert!(cached_hot >= 6, "only {cached_hot}/10 hot starved objects cached");
+    assert!(
+        cached_hot >= 6,
+        "only {cached_hot}/10 high-utility starved objects cached"
+    );
 }
 
 #[test]
