@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sc_cache::policy::PolicyKind;
-use sc_sim::{run_simulation, SimulationConfig, VariabilityKind};
+use sc_sim::exec::{ExecConfig, ParallelExecutor};
+use sc_sim::{run_replicated_with, run_simulation, SimulationConfig, VariabilityKind};
 use sc_workload::WorkloadConfig;
 
 fn reduced_config(policy: PolicyKind, variability: VariabilityKind) -> SimulationConfig {
@@ -62,9 +63,53 @@ fn bench_variability_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential vs parallel `run_replicated` at small scale: the speedup of
+/// the execution layer, tracked in the benchmark output going forward.
+/// Identical work (8 replicated runs of `SimulationConfig::small`) is
+/// executed with 1 thread, with the machine's available parallelism, and
+/// with twice that (oversubscribed), so scaling and contention both show.
+fn bench_parallel_executor(c: &mut Criterion) {
+    let config = SimulationConfig {
+        policy: PolicyKind::PartialBandwidth,
+        ..SimulationConfig::small()
+    }
+    .with_cache_fraction(0.05);
+    let runs = 8;
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("run_replicated_small_seq_vs_par");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        (runs * config.workload.trace.requests) as u64,
+    ));
+    let mut thread_counts = vec![1];
+    if available > 1 {
+        thread_counts.push(available);
+        thread_counts.push(available * 2);
+    }
+    for threads in thread_counts {
+        let executor = ParallelExecutor::new(ExecConfig::with_threads(threads));
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &executor,
+            |b, executor| {
+                b.iter(|| {
+                    run_replicated_with(&config, runs, executor)
+                        .unwrap()
+                        .requests
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simulation_policies,
-    bench_variability_overhead
+    bench_variability_overhead,
+    bench_parallel_executor
 );
 criterion_main!(benches);

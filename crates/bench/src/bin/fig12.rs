@@ -5,8 +5,9 @@ use sc_sim::experiments::fig12;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = sc_bench::scale_from_args();
+    let start = std::time::Instant::now();
     let figure = fig12(scale)?;
-    sc_bench::emit(&figure);
+    sc_bench::emit_timed(&figure, start.elapsed());
     println!("(scale: {scale:?})");
     Ok(())
 }

@@ -6,6 +6,7 @@ use rand::SeedableRng;
 use sc_netmodel::{Histogram, NlanrBandwidthModel, BYTES_PER_KB};
 
 fn main() {
+    let start = std::time::Instant::now();
     let samples: usize = 10_000;
     let model = NlanrBandwidthModel::paper_default();
     let mut rng = StdRng::seed_from_u64(2);
@@ -35,4 +36,5 @@ fn main() {
         100.0 * hist.fraction_below(50.0),
         100.0 * hist.fraction_below(100.0)
     );
+    println!("(wall clock: {:.3} s)", start.elapsed().as_secs_f64());
 }

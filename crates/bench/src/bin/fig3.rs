@@ -6,6 +6,7 @@ use rand::SeedableRng;
 use sc_netmodel::{Histogram, VariabilityModel};
 
 fn main() {
+    let start = std::time::Instant::now();
     let samples = 10_000;
     let model = VariabilityModel::nlanr_like();
     let mut rng = StdRng::seed_from_u64(3);
@@ -30,4 +31,5 @@ fn main() {
         100.0 * in_band,
         model.coefficient_of_variation()
     );
+    println!("(wall clock: {:.3} s)", start.elapsed().as_secs_f64());
 }

@@ -4,8 +4,14 @@ use sc_sim::experiments::table1;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = sc_bench::scale_from_args();
+    let start = std::time::Instant::now();
     let table = table1(scale)?;
+    let info = sc_bench::RunInfo::from_elapsed(start.elapsed());
     println!("{table}");
     println!("(scale: {scale:?}; paper values: 5,000 objects, 100,000 requests, 48 KB/s, ~790 GB)");
+    println!(
+        "(wall clock: {:.3} s; SC_SIM_THREADS resolves to {} threads)",
+        info.wall_clock_secs, info.threads
+    );
     Ok(())
 }

@@ -14,10 +14,44 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sc_sim::exec::ExecConfig;
 use sc_sim::experiments::ExperimentScale;
 use sc_sim::{FigureResult, Metrics};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// How an experiment run was executed: wall-clock time and the number of
+/// worker threads the execution layer used. Emitted into every figure's
+/// JSON so speedups are tracked alongside the results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunInfo {
+    /// End-to-end wall-clock time of the experiment, in seconds.
+    pub wall_clock_secs: f64,
+    /// Worker threads used by the simulator's execution layer.
+    pub threads: usize,
+}
+
+impl RunInfo {
+    /// An explicit wall-clock time and thread count — use this when the
+    /// timed code ran with an explicit `ParallelExecutor` rather than the
+    /// environment-configured one.
+    pub fn new(elapsed: Duration, threads: usize) -> Self {
+        RunInfo {
+            wall_clock_secs: elapsed.as_secs_f64(),
+            threads,
+        }
+    }
+
+    /// Captures the elapsed wall-clock time together with the thread count
+    /// the environment-configured executor resolves to (`SC_SIM_THREADS`,
+    /// default = available parallelism). Only valid for runs that used the
+    /// default executors (as the figure bins do); pass the real count via
+    /// [`RunInfo::new`] otherwise.
+    pub fn from_elapsed(elapsed: Duration) -> Self {
+        Self::new(elapsed, ExecConfig::from_env().threads)
+    }
+}
 
 /// Parses the `--scale <paper|quick|test>` command-line option; defaults to
 /// [`ExperimentScale::Quick`].
@@ -40,11 +74,37 @@ pub fn scale_from_args() -> ExperimentScale {
 /// `results/<id>.json` (best effort — failures to write are reported but not
 /// fatal).
 pub fn emit(figure: &FigureResult) {
+    emit_inner(figure, None);
+}
+
+/// Like [`emit`], but also reports how the experiment ran: the wall-clock
+/// time and the environment-configured executor's thread count are printed
+/// and embedded in the JSON (`wall_clock_secs` / `threads`). For runs that
+/// used an explicit executor, build the [`RunInfo`] yourself and call
+/// [`emit_with_info`].
+pub fn emit_timed(figure: &FigureResult, elapsed: Duration) {
+    emit_inner(figure, Some(RunInfo::from_elapsed(elapsed)));
+}
+
+/// Like [`emit`], with explicit execution metadata.
+pub fn emit_with_info(figure: &FigureResult, info: RunInfo) {
+    emit_inner(figure, Some(info));
+}
+
+fn emit_inner(figure: &FigureResult, info: Option<RunInfo>) {
     println!("{}", figure.to_table());
+    if let Some(info) = info {
+        println!(
+            "(wall clock: {:.3} s on {} thread{})",
+            info.wall_clock_secs,
+            info.threads,
+            if info.threads == 1 { "" } else { "s" }
+        );
+    }
     let dir = PathBuf::from("results");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{}.json", figure.id));
-        if let Err(e) = std::fs::write(&path, figure_to_json(figure)) {
+        if let Err(e) = std::fs::write(&path, figure_to_json_with_info(figure, info)) {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {
             println!("(wrote {})", path.display());
@@ -59,11 +119,25 @@ pub fn emit(figure: &FigureResult) {
 /// Non-finite floats (e.g. an infinite average delay at zero bandwidth)
 /// are emitted as `null`, matching what `serde_json` does for them.
 pub fn figure_to_json(figure: &FigureResult) -> String {
+    figure_to_json_with_info(figure, None)
+}
+
+/// [`figure_to_json`] plus optional execution metadata: when `info` is
+/// given, top-level `wall_clock_secs` and `threads` fields are emitted.
+pub fn figure_to_json_with_info(figure: &FigureResult, info: Option<RunInfo>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"id\": {},", json_string(&figure.id));
     let _ = writeln!(out, "  \"title\": {},", json_string(&figure.title));
     let _ = writeln!(out, "  \"x_label\": {},", json_string(&figure.x_label));
+    if let Some(info) = info {
+        let _ = writeln!(
+            out,
+            "  \"wall_clock_secs\": {},",
+            json_f64(info.wall_clock_secs)
+        );
+        let _ = writeln!(out, "  \"threads\": {},", info.threads);
+    }
     out.push_str("  \"series\": [\n");
     for (si, series) in figure.series.iter().enumerate() {
         out.push_str("    {\n");
@@ -158,5 +232,34 @@ mod tests {
         let path = std::path::Path::new("results/selftest.json");
         assert!(path.exists());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn json_includes_runtime_info_when_timed() {
+        let mut fig = FigureResult::new("selftest_timed", "timed emit", "x");
+        fig.series.push(FigureSeries::new("s"));
+        let info = RunInfo {
+            wall_clock_secs: 1.5,
+            threads: 4,
+        };
+        let json = figure_to_json_with_info(&fig, Some(info));
+        assert!(json.contains("\"wall_clock_secs\": 1.5"));
+        assert!(json.contains("\"threads\": 4"));
+        // The untimed serialisation stays byte-compatible with the old schema.
+        assert!(!figure_to_json(&fig).contains("wall_clock_secs"));
+
+        emit_timed(&fig, Duration::from_millis(10));
+        let path = std::path::Path::new("results/selftest_timed.json");
+        assert!(path.exists());
+        let written = std::fs::read_to_string(path).unwrap();
+        assert!(written.contains("\"threads\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_info_resolves_a_positive_thread_count() {
+        let info = RunInfo::from_elapsed(Duration::from_secs(2));
+        assert!(info.threads >= 1);
+        assert!((info.wall_clock_secs - 2.0).abs() < 1e-9);
     }
 }

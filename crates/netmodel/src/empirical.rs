@@ -131,6 +131,11 @@ impl EmpiricalDistribution {
     }
 
     /// Cumulative probability `P(X <= x)`.
+    ///
+    /// Locates the containing segment by binary search: this (with
+    /// [`quantile`](Self::quantile)) sits inside every per-request bandwidth
+    /// draw of the simulator, so the lookup is `O(log knots)` rather than a
+    /// linear scan.
     pub fn cdf(&self, x: f64) -> f64 {
         if x <= self.min() {
             return if x < self.min() { 0.0 } else { self.knots[0].1 };
@@ -138,36 +143,45 @@ impl EmpiricalDistribution {
         if x >= self.max() {
             return 1.0;
         }
-        // Find the segment containing x and interpolate.
-        for w in self.knots.windows(2) {
-            let (v0, p0) = w[0];
-            let (v1, p1) = w[1];
-            if x >= v0 && x <= v1 {
-                if v1 == v0 {
-                    return p1;
-                }
-                let t = (x - v0) / (v1 - v0);
-                return p0 + t * (p1 - p0);
-            }
+        // First segment whose upper knot value reaches x. Its lower knot is
+        // below x: for the first such segment the preceding upper knot (its
+        // lower knot) was still below x, and min < x covers segment 0.
+        let i = self.knots[1..].partition_point(|&(v, _)| v < x);
+        let (v0, p0) = self.knots[i];
+        let (v1, p1) = self.knots[i + 1];
+        if v1 == v0 {
+            p1
+        } else {
+            let t = (x - v0) / (v1 - v0);
+            p0 + t * (p1 - p0)
         }
-        1.0
     }
 
     /// Quantile (inverse CDF) for probability `p`, clamped to `[0, 1]`.
+    ///
+    /// Binary-searches the CDF knots; equivalent to scanning for the first
+    /// segment whose probability range contains `p` (vertical segments —
+    /// duplicate probabilities — resolve to the segment's upper value, as
+    /// the scan did).
     pub fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(0.0, 1.0);
-        for w in self.knots.windows(2) {
-            let (v0, p0) = w[0];
-            let (v1, p1) = w[1];
-            if p >= p0 && p <= p1 {
-                if p1 == p0 {
-                    return v1;
-                }
-                let t = (p - p0) / (p1 - p0);
-                return v0 + t * (v1 - v0);
-            }
+        // First segment whose upper knot probability reaches p; its lower
+        // knot probability is <= p by the same first-crossing argument as in
+        // `cdf` (segment 0 starts at probability 0). No segment reaches p
+        // only when p == 1 and the last knot sits at 1 - epsilon (within
+        // `from_cdf` tolerance): return the largest value, as before.
+        let i = self.knots[1..].partition_point(|&(_, q)| q < p);
+        if i + 1 >= self.knots.len() {
+            return self.max();
         }
-        self.max()
+        let (v0, p0) = self.knots[i];
+        let (v1, p1) = self.knots[i + 1];
+        if p1 == p0 {
+            v1
+        } else {
+            let t = (p - p0) / (p1 - p0);
+            v0 + t * (v1 - v0)
+        }
     }
 
     /// Draws one sample by inverse-transform sampling.
@@ -303,5 +317,172 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn negative_scale_panics() {
         let _ = simple().scaled(-1.0);
+    }
+
+    /// The linear knot scan the binary search replaced, kept verbatim as
+    /// the reference implementation for the property tests below.
+    fn quantile_linear(d: &EmpiricalDistribution, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        for w in d.knots().windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if p >= p0 && p <= p1 {
+                if p1 == p0 {
+                    return v1;
+                }
+                let t = (p - p0) / (p1 - p0);
+                return v0 + t * (v1 - v0);
+            }
+        }
+        d.max()
+    }
+
+    fn cdf_linear(d: &EmpiricalDistribution, x: f64) -> f64 {
+        if x <= d.min() {
+            return if x < d.min() { 0.0 } else { d.knots()[0].1 };
+        }
+        if x >= d.max() {
+            return 1.0;
+        }
+        for w in d.knots().windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if x >= v0 && x <= v1 {
+                if v1 == v0 {
+                    return p1;
+                }
+                let t = (x - v0) / (v1 - v0);
+                return p0 + t * (p1 - p0);
+            }
+        }
+        1.0
+    }
+
+    /// A random valid CDF: non-decreasing values (possibly duplicated) and
+    /// non-decreasing probabilities pinned to 0 and 1 at the ends, with
+    /// flat (duplicate-probability) and vertical (duplicate-value) segments
+    /// mixed in.
+    fn random_cdf(rng: &mut StdRng) -> EmpiricalDistribution {
+        let n = rng.gen_range(2..=16usize);
+        let mut value = rng.gen_range(-50.0..50.0);
+        let mut knots = Vec::with_capacity(n);
+        let mut cum = vec![0.0f64];
+        for _ in 1..n {
+            // One in four increments is zero, exercising duplicates.
+            let dp = if rng.gen_bool(0.25) {
+                0.0
+            } else {
+                rng.gen_range(0.0..1.0)
+            };
+            cum.push(cum.last().unwrap() + dp);
+        }
+        let total = *cum.last().unwrap();
+        for (i, c) in cum.iter().enumerate() {
+            let p = if total == 0.0 {
+                // All increments were zero: a valid CDF still needs to end
+                // at 1, so make it a single vertical jump at the last knot.
+                if i + 1 == n {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else if i + 1 == n {
+                1.0
+            } else {
+                c / total
+            };
+            knots.push((value, p));
+            if !rng.gen_bool(0.25) {
+                value += rng.gen_range(0.0..20.0);
+            }
+        }
+        EmpiricalDistribution::from_cdf(knots).unwrap()
+    }
+
+    #[test]
+    fn binary_search_quantile_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(0xe3_14);
+        for _ in 0..500 {
+            let d = random_cdf(&mut rng);
+            // Edge probabilities, every knot probability, and random draws.
+            let mut probes = vec![0.0, 1.0, -0.5, 1.5, 0.5];
+            probes.extend(d.knots().iter().map(|&(_, p)| p));
+            probes.extend((0..20).map(|_| rng.gen::<f64>()));
+            for p in probes {
+                let fast = d.quantile(p);
+                let slow = quantile_linear(&d, p);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "quantile({p}) diverged on {:?}: fast {fast} vs linear {slow}",
+                    d.knots()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_cdf_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let d = random_cdf(&mut rng);
+            let span = (d.max() - d.min()).max(1.0);
+            let mut probes = vec![d.min(), d.max(), d.min() - 1.0, d.max() + 1.0];
+            probes.extend(d.knots().iter().map(|&(v, _)| v));
+            probes.extend((0..20).map(|_| d.min() + rng.gen::<f64>() * span));
+            for x in probes {
+                let fast = d.cdf(x);
+                let slow = cdf_linear(&d, x);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "cdf({x}) diverged on {:?}: fast {fast} vs linear {slow}",
+                    d.knots()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_matches_linear_scan_stream() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let d = random_cdf(&mut rng);
+            let mut fast_rng = StdRng::seed_from_u64(11);
+            let mut slow_rng = StdRng::seed_from_u64(11);
+            for _ in 0..50 {
+                let fast = d.sample(&mut fast_rng);
+                let slow = quantile_linear(&d, slow_rng.gen());
+                assert_eq!(fast.to_bits(), slow.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // p = 0 resolves to the smallest value; p = 1 to the largest.
+        let d = simple();
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(1.0), 20.0);
+
+        // Duplicate-probability knots: a flat CDF stretch resolves to its
+        // first crossing (the stretch's lower value), as the linear scan
+        // did; probabilities just past the stretch land on its far side.
+        let flat =
+            EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (5.0, 0.5), (9.0, 0.5), (10.0, 1.0)])
+                .unwrap();
+        assert_eq!(flat.quantile(0.5), 5.0);
+        assert!(flat.quantile(0.5 + 1e-12) > 9.0);
+
+        // A point mass (duplicate values) keeps returning that value.
+        let point = EmpiricalDistribution::from_cdf(vec![(3.0, 0.0), (3.0, 1.0)]).unwrap();
+        assert_eq!(point.quantile(0.0), 3.0);
+        assert_eq!(point.quantile(0.7), 3.0);
+        assert_eq!(point.quantile(1.0), 3.0);
+
+        // A last probability of 1 - epsilon (within from_cdf tolerance)
+        // still resolves p = 1 to the maximum value.
+        let eps = EmpiricalDistribution::from_cdf(vec![(0.0, 0.0), (8.0, 1.0 - 5e-10)]).unwrap();
+        assert_eq!(eps.quantile(1.0), 8.0);
     }
 }

@@ -1,0 +1,575 @@
+//! The parallel execution layer.
+//!
+//! Every multi-run entry point of the simulator — [`run_replicated`],
+//! [`run_comparison`], and the sweeps in [`crate::sweep`] — is a grid of
+//! fully independent `(configuration, seed)` simulations. This module turns
+//! that grid into shardable work:
+//!
+//! * [`SimWorker`] is the reusable, `Send`-safe body of one simulation run.
+//!   It optionally borrows an [`Arc`]-shared [`SharedWorkload`], so one
+//!   workload generation per seed is shared by every configuration that
+//!   uses the same workload parameters (paired policy comparisons).
+//! * [`ParallelExecutor`] shards work items across `std::thread::scope`
+//!   threads and merges results **in item order**, so the parallel output is
+//!   byte-identical to a sequential run: each item is seeded independently
+//!   and touches no shared mutable state, which makes the schedule
+//!   irrelevant to the result.
+//! * [`run_grid`] flattens a `configs × runs` grid into one work list,
+//!   deduplicates workload generation, runs everything through an executor,
+//!   and averages per-configuration metrics in deterministic seed order.
+//!
+//! The thread count comes from [`ExecConfig`]: explicitly, from the
+//! `SC_SIM_THREADS` environment variable, or (by default) from
+//! [`std::thread::available_parallelism`].
+//!
+//! [`run_replicated`]: crate::run_replicated
+//! [`run_comparison`]: crate::run_comparison
+
+use crate::bandwidth::BandwidthProvider;
+use crate::config::{SimError, SimulationConfig};
+use crate::delivery::deliver;
+use crate::metrics::{Metrics, MetricsCollector};
+use crate::runner::RunResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+use sc_workload::{Catalog, MediaObject, RequestTrace, WorkloadConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable controlling the default number of worker threads.
+pub const THREADS_ENV_VAR: &str = "SC_SIM_THREADS";
+
+/// Configuration of the execution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Number of worker threads; `1` means fully sequential execution.
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// Sequential execution (one thread, no spawning).
+    pub fn sequential() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// An explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads `SC_SIM_THREADS`; a missing, unparsable or zero value falls
+    /// back to [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var(THREADS_ENV_VAR).ok().as_deref())
+    }
+
+    /// The parsing behind [`from_env`](Self::from_env), taking the raw
+    /// variable value so it is testable without mutating the process
+    /// environment (which is not thread-safe).
+    fn from_env_value(value: Option<&str>) -> Self {
+        let threads = value
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ExecConfig { threads }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// A workload generated once and shared (via [`Arc`]) by every run that
+/// needs the identical catalog and request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedWorkload {
+    /// The object catalog.
+    pub catalog: Catalog,
+    /// The request trace.
+    pub trace: RequestTrace,
+}
+
+impl SharedWorkload {
+    /// Generates the workload described by `config` under `seed`
+    /// (overriding the configuration's own seed, as replicated runs do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Workload`] if the configuration is invalid.
+    pub fn generate(config: &WorkloadConfig, seed: u64) -> Result<Self, SimError> {
+        let mut wl_config = *config;
+        wl_config.seed = seed;
+        let workload = wl_config
+            .generate()
+            .map_err(|e| SimError::Workload(e.to_string()))?;
+        Ok(SharedWorkload {
+            catalog: workload.catalog,
+            trace: workload.trace,
+        })
+    }
+}
+
+/// Converts a workload [`MediaObject`] into the cache's [`ObjectMeta`].
+pub(crate) fn to_meta(obj: &MediaObject) -> ObjectMeta {
+    ObjectMeta::new(
+        ObjectKey::new(obj.id.index() as u64),
+        obj.duration_secs,
+        obj.bitrate_bps,
+        obj.value,
+    )
+}
+
+/// The self-contained body of one simulation run: a configuration, a run
+/// seed, and optionally a pre-generated shared workload.
+///
+/// A worker owns everything it needs (the workload only behind an [`Arc`]),
+/// so it is `Send` and can execute on any thread; given the same inputs it
+/// produces bit-identical results regardless of where or when it runs.
+#[derive(Debug, Clone)]
+pub struct SimWorker {
+    config: SimulationConfig,
+    seed: u64,
+    workload: Option<Arc<SharedWorkload>>,
+}
+
+impl SimWorker {
+    /// A worker that generates its own workload from `config.workload`
+    /// (with the seed overridden by `seed`).
+    pub fn new(config: SimulationConfig, seed: u64) -> Self {
+        SimWorker {
+            config,
+            seed,
+            workload: None,
+        }
+    }
+
+    /// A worker running over a pre-generated workload. The caller is
+    /// responsible for the workload matching `seed` (as [`run_grid`] does);
+    /// the bandwidth stream is still derived from `seed` alone.
+    pub fn with_workload(
+        config: SimulationConfig,
+        seed: u64,
+        workload: Arc<SharedWorkload>,
+    ) -> Self {
+        SimWorker {
+            config,
+            seed,
+            workload: Some(workload),
+        }
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Executes the simulation run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the configuration is invalid.
+    pub fn run(&self) -> Result<RunResult, SimError> {
+        let config = &self.config;
+        config.validate()?;
+        let generated;
+        let (catalog, trace) = match &self.workload {
+            Some(shared) => (&shared.catalog, &shared.trace),
+            None => {
+                generated = SharedWorkload::generate(&config.workload, self.seed)?;
+                (&generated.catalog, &generated.trace)
+            }
+        };
+
+        // Bandwidth state and the per-request variability stream use a seed
+        // derived from the run seed but decoupled from workload generation.
+        let mut bw_rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let provider = BandwidthProvider::generate(catalog.len(), config.variability, &mut bw_rng);
+
+        let mut cache = CacheEngine::new(config.cache_size_bytes, config.policy.build())
+            .map_err(|e| SimError::Workload(e.to_string()))?;
+
+        let warmup_len = ((trace.len() as f64) * config.warmup_fraction).round() as usize;
+        let mut collector = MetricsCollector::new();
+
+        for (i, request) in trace.iter().enumerate() {
+            let obj = catalog.object(request.object);
+            let meta = to_meta(obj);
+            let index = obj.id.index();
+            let estimated = provider.estimated_bps(index);
+            let instantaneous = provider.instantaneous_bps(index, &mut bw_rng);
+
+            // The caching algorithm sees the measured (average) bandwidth;
+            // the actual transfer experiences the instantaneous bandwidth.
+            let outcome = cache.on_access(&meta, estimated);
+
+            if i >= warmup_len {
+                let delivery = deliver(&meta, outcome.cached_bytes_before, instantaneous);
+                collector.record(&delivery);
+            }
+        }
+
+        Ok(RunResult {
+            metrics: collector.finish(),
+            warmup_requests: warmup_len as u64,
+            final_cache_used_bytes: cache.used_bytes(),
+            final_cached_objects: cache.len(),
+        })
+    }
+}
+
+/// Shards independent work items across a scoped thread pool.
+///
+/// Results are always returned in item order, and each item is processed by
+/// exactly one thread with no shared mutable state, so the output is
+/// independent of the thread count and of scheduling — the determinism
+/// guarantee the golden-metrics tests rely on.
+#[derive(Debug, Clone)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with the given configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        ParallelExecutor {
+            threads: config.threads.max(1),
+        }
+    }
+
+    /// An executor configured from the environment ([`ExecConfig::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(ExecConfig::from_env())
+    }
+
+    /// A strictly sequential executor (runs items inline, spawns nothing).
+    pub fn sequential() -> Self {
+        Self::new(ExecConfig::sequential())
+    }
+
+    /// The number of worker threads this executor uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, sharding across worker threads, and
+    /// returns the results in item order.
+    ///
+    /// With one thread (or at most one item) the items are processed inline
+    /// on the calling thread, in order, with no synchronisation at all —
+    /// this is the reference sequential path.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(&items[i]);
+                    slots.lock().expect("executor mutex poisoned")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("executor mutex poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every work item produces a result"))
+            .collect()
+    }
+
+    /// Like [`map`](Self::map), but consumes the items: each one is dropped
+    /// as soon as its result is produced. [`run_grid`] relies on this to
+    /// release a shared workload's memory once its last run finishes,
+    /// instead of holding every workload of a large grid until the end.
+    pub fn map_consume<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = cells[i]
+                        .lock()
+                        .expect("executor mutex poisoned")
+                        .take()
+                        .expect("each work item is claimed exactly once");
+                    let result = f(item);
+                    slots.lock().expect("executor mutex poisoned")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("executor mutex poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every work item produces a result"))
+            .collect()
+    }
+}
+
+impl Default for ParallelExecutor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Runs the full `configs × runs` grid through `executor` and returns one
+/// seed-averaged [`Metrics`] per configuration, in configuration order.
+///
+/// Replicated runs use seeds `config.seed`, `config.seed + 1`, …,
+/// `config.seed + runs - 1`. The workload for each distinct
+/// `(workload parameters, seed)` pair is generated exactly once (in
+/// parallel) and shared by every configuration that needs it, so a paired
+/// policy comparison is both faster than regenerating per configuration and
+/// structurally guaranteed to see identical request streams.
+///
+/// The merge happens in deterministic `(configuration, seed)` order, so the
+/// result is byte-identical for every thread count, including the
+/// sequential executor.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRuns`] when `runs` is zero, or the first
+/// validation error across the grid in configuration order.
+pub fn run_grid(
+    configs: &[SimulationConfig],
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Vec<Metrics>, SimError> {
+    if runs == 0 {
+        return Err(SimError::NoRuns);
+    }
+    for config in configs {
+        config.validate()?;
+    }
+    if configs.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Flatten the grid and deduplicate workload generation: one generation
+    // per distinct (workload parameters, seed) pair, in first-use order.
+    let mut keys: Vec<WorkloadConfig> = Vec::new();
+    let mut items: Vec<(usize, u64, usize)> = Vec::with_capacity(configs.len() * runs);
+    for (ci, config) in configs.iter().enumerate() {
+        for r in 0..runs {
+            let seed = config.seed + r as u64;
+            let mut wl = config.workload;
+            wl.seed = seed;
+            let key = match keys.iter().position(|k| *k == wl) {
+                Some(i) => i,
+                None => {
+                    keys.push(wl);
+                    keys.len() - 1
+                }
+            };
+            items.push((ci, seed, key));
+        }
+    }
+
+    // Stage 1: generate each distinct workload once, sharded across threads.
+    let mut workloads = Vec::with_capacity(keys.len());
+    for generated in executor.map(&keys, |wl| {
+        SharedWorkload::generate(wl, wl.seed).map(Arc::new)
+    }) {
+        workloads.push(generated?);
+    }
+
+    // Stage 2: run the flattened (configuration, seed) grid. The workers
+    // hold the only remaining Arcs to the workloads (the lookup table is
+    // dropped before running), and the executor consumes each worker as it
+    // completes, so a workload's memory is freed as soon as its last run
+    // finishes instead of living for the whole grid.
+    let workers: Vec<SimWorker> = items
+        .iter()
+        .map(|&(ci, seed, key)| SimWorker::with_workload(configs[ci], seed, workloads[key].clone()))
+        .collect();
+    drop(workloads);
+    let results = executor.map_consume(workers, |worker| worker.run());
+
+    // Merge in deterministic (configuration, seed) order.
+    let mut per_config: Vec<Vec<Metrics>> = vec![Vec::with_capacity(runs); configs.len()];
+    for (&(ci, _, _), result) in items.iter().zip(results) {
+        per_config[ci].push(result?.metrics);
+    }
+    Ok(per_config.iter().map(|m| Metrics::average(m)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_cache::policy::PolicyKind;
+
+    fn small(policy: PolicyKind, cache_fraction: f64) -> SimulationConfig {
+        SimulationConfig {
+            policy,
+            ..SimulationConfig::small()
+        }
+        .with_cache_fraction(cache_fraction)
+    }
+
+    #[test]
+    fn executor_map_preserves_item_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 4, 7] {
+            let executor = ParallelExecutor::new(ExecConfig::with_threads(threads));
+            let doubled = executor.map(&items, |&i| i * 2);
+            assert_eq!(doubled, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn executor_map_consume_preserves_order_and_drops_items() {
+        struct Tracked(usize, Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.1.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicUsize::new(0));
+        for threads in [1, 4] {
+            let items: Vec<Tracked> = (0..32)
+                .map(|i| {
+                    live.fetch_add(1, Ordering::SeqCst);
+                    Tracked(i, live.clone())
+                })
+                .collect();
+            let executor = ParallelExecutor::new(ExecConfig::with_threads(threads));
+            let tripled = executor.map_consume(items, |t| t.0 * 3);
+            assert_eq!(tripled, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(
+                live.load(Ordering::SeqCst),
+                0,
+                "threads={threads} leaked items"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_clamps_to_at_least_one_thread() {
+        assert_eq!(
+            ParallelExecutor::new(ExecConfig::with_threads(0)).threads(),
+            1
+        );
+        assert_eq!(ExecConfig::with_threads(0).threads, 1);
+        assert_eq!(ExecConfig::sequential().threads, 1);
+    }
+
+    #[test]
+    fn env_var_value_overrides_thread_count() {
+        // Exercises the parsing without std::env::set_var: mutating the
+        // process environment races concurrently-running tests that read
+        // SC_SIM_THREADS through ParallelExecutor::from_env().
+        assert_eq!(ExecConfig::from_env_value(Some("3")).threads, 3);
+        assert_eq!(ExecConfig::from_env_value(Some(" 8 ")).threads, 8);
+        let fallback = ExecConfig::from_env_value(None).threads;
+        assert!(fallback >= 1);
+        assert_eq!(
+            ExecConfig::from_env_value(Some("not-a-number")).threads,
+            fallback
+        );
+        assert_eq!(ExecConfig::from_env_value(Some("0")).threads, fallback);
+        assert!(ExecConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn worker_with_shared_workload_matches_self_generated() {
+        let config = small(PolicyKind::PartialBandwidth, 0.05);
+        let seed = config.seed;
+        let own = SimWorker::new(config, seed).run().unwrap();
+        let shared = Arc::new(SharedWorkload::generate(&config.workload, seed).unwrap());
+        let borrowed = SimWorker::with_workload(config, seed, shared)
+            .run()
+            .unwrap();
+        assert_eq!(own.metrics, borrowed.metrics);
+        assert_eq!(own.final_cached_objects, borrowed.final_cached_objects);
+    }
+
+    #[test]
+    fn grid_is_thread_count_invariant() {
+        let configs = vec![
+            small(PolicyKind::PartialBandwidth, 0.05),
+            small(PolicyKind::IntegralFrequency, 0.05),
+        ];
+        let sequential = run_grid(&configs, 2, &ParallelExecutor::sequential()).unwrap();
+        for threads in [2, 4] {
+            let parallel = run_grid(
+                &configs,
+                2,
+                &ParallelExecutor::new(ExecConfig::with_threads(threads)),
+            )
+            .unwrap();
+            assert_eq!(sequential, parallel, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn grid_rejects_zero_runs_and_invalid_configs() {
+        let config = small(PolicyKind::PartialBandwidth, 0.05);
+        let executor = ParallelExecutor::sequential();
+        assert!(matches!(
+            run_grid(&[config], 0, &executor),
+            Err(SimError::NoRuns)
+        ));
+        let mut bad = config;
+        bad.cache_size_bytes = -1.0;
+        assert!(matches!(
+            run_grid(&[config, bad], 1, &executor),
+            Err(SimError::InvalidCacheSize(_))
+        ));
+        assert_eq!(run_grid(&[], 1, &executor).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn grid_shares_workloads_across_identical_seeds() {
+        // Two configs with identical workload parameters and seeds: the
+        // grid must produce the same result as running them separately.
+        let pb = small(PolicyKind::PartialBandwidth, 0.05);
+        let if_ = small(PolicyKind::IntegralFrequency, 0.05);
+        let together = run_grid(&[pb, if_], 2, &ParallelExecutor::sequential()).unwrap();
+        let alone_pb = run_grid(&[pb], 2, &ParallelExecutor::sequential()).unwrap();
+        let alone_if = run_grid(&[if_], 2, &ParallelExecutor::sequential()).unwrap();
+        assert_eq!(together[0], alone_pb[0]);
+        assert_eq!(together[1], alone_if[0]);
+    }
+}

@@ -12,6 +12,11 @@
 //!
 //! * [`SimulationConfig`] / [`run_simulation`] / [`run_replicated`] — single
 //!   runs and replicated (seed-averaged) runs;
+//! * [`exec`] — the parallel execution layer: replicated runs, comparisons
+//!   and sweeps shard their independent `(configuration, seed)` grid across
+//!   threads (`SC_SIM_THREADS`, default = available parallelism) and merge
+//!   in deterministic seed order, so results are byte-identical to a
+//!   sequential run;
 //! * [`Metrics`] — the paper's four metrics (traffic-reduction ratio,
 //!   average service delay, average stream quality, total added value);
 //! * [`sweep`] — cache-size, estimator and Zipf-α parameter sweeps;
@@ -41,6 +46,7 @@
 mod bandwidth;
 mod config;
 mod delivery;
+pub mod exec;
 pub mod experiments;
 mod metrics;
 mod report;
@@ -50,6 +56,10 @@ pub mod sweep;
 pub use bandwidth::BandwidthProvider;
 pub use config::{SimError, SimulationConfig, VariabilityKind};
 pub use delivery::{deliver, DeliveryOutcome};
+pub use exec::{ExecConfig, ParallelExecutor, SharedWorkload, SimWorker};
 pub use metrics::{Metrics, MetricsCollector};
 pub use report::{FigurePoint, FigureResult, FigureSeries};
-pub use runner::{run_comparison, run_replicated, run_simulation, RunResult};
+pub use runner::{
+    run_comparison, run_comparison_with, run_replicated, run_replicated_with, run_simulation,
+    RunResult,
+};

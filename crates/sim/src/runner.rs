@@ -1,13 +1,14 @@
 //! The simulation loop and replicated runs.
+//!
+//! The per-run body lives in [`crate::exec::SimWorker`]; everything here
+//! that executes more than one run is routed through the execution layer
+//! ([`crate::exec`]), which shards the independent `(configuration, seed)`
+//! grid across threads and merges results in deterministic seed order —
+//! parallel output is byte-identical to sequential output.
 
-use crate::bandwidth::BandwidthProvider;
 use crate::config::{SimError, SimulationConfig};
-use crate::delivery::deliver;
-use crate::metrics::{Metrics, MetricsCollector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
-use sc_workload::{Catalog, MediaObject, RequestTrace};
+use crate::exec::{run_grid, ParallelExecutor, SimWorker};
+use crate::metrics::Metrics;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,129 +23,74 @@ pub struct RunResult {
     pub final_cached_objects: usize,
 }
 
-/// Converts a workload [`MediaObject`] into the cache's [`ObjectMeta`].
-fn to_meta(obj: &MediaObject) -> ObjectMeta {
-    ObjectMeta::new(
-        ObjectKey::new(obj.id.index() as u64),
-        obj.duration_secs,
-        obj.bitrate_bps,
-        obj.value,
-    )
-}
-
-/// Runs one simulation with the given seed offset, reusing a pre-generated
-/// workload when provided (so that policy comparisons see identical
-/// request streams).
-fn run_once(
-    config: &SimulationConfig,
-    seed: u64,
-    prebuilt: Option<(&Catalog, &RequestTrace)>,
-) -> Result<RunResult, SimError> {
-    config.validate()?;
-    let generated;
-    let (catalog, trace) = match prebuilt {
-        Some((c, t)) => (c, t),
-        None => {
-            let mut wl_config = config.workload;
-            wl_config.seed = seed;
-            generated = wl_config
-                .generate()
-                .map_err(|e| SimError::Workload(e.to_string()))?;
-            (&generated.catalog, &generated.trace)
-        }
-    };
-
-    // Bandwidth state and the per-request variability stream use a seed
-    // derived from the run seed but decoupled from workload generation.
-    let mut bw_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    let provider = BandwidthProvider::generate(catalog.len(), config.variability, &mut bw_rng);
-
-    let mut cache = CacheEngine::new(config.cache_size_bytes, config.policy.build())
-        .map_err(|e| SimError::Workload(e.to_string()))?;
-
-    let warmup_len = ((trace.len() as f64) * config.warmup_fraction).round() as usize;
-    let mut collector = MetricsCollector::new();
-
-    for (i, request) in trace.iter().enumerate() {
-        let obj = catalog.object(request.object);
-        let meta = to_meta(obj);
-        let index = obj.id.index();
-        let estimated = provider.estimated_bps(index);
-        let instantaneous = provider.instantaneous_bps(index, &mut bw_rng);
-
-        // The caching algorithm sees the measured (average) bandwidth; the
-        // actual transfer experiences the instantaneous bandwidth.
-        let outcome = cache.on_access(&meta, estimated);
-
-        if i >= warmup_len {
-            let delivery = deliver(&meta, outcome.cached_bytes_before, instantaneous);
-            collector.record(&delivery);
-        }
-    }
-
-    Ok(RunResult {
-        metrics: collector.finish(),
-        warmup_requests: warmup_len as u64,
-        final_cache_used_bytes: cache.used_bytes(),
-        final_cached_objects: cache.len(),
-    })
-}
-
 /// Runs a single simulation described by `config`.
 ///
 /// # Errors
 ///
 /// Returns a [`SimError`] if the configuration is invalid.
 pub fn run_simulation(config: &SimulationConfig) -> Result<RunResult, SimError> {
-    run_once(config, config.seed, None)
+    SimWorker::new(*config, config.seed).run()
 }
 
 /// Runs `runs` replicated simulations (seeds `seed`, `seed + 1`, …) and
 /// averages their metrics, mirroring the paper's practice of averaging ten
-/// runs per data point.
+/// runs per data point. Runs are sharded across the environment-configured
+/// executor ([`ParallelExecutor::from_env`], `SC_SIM_THREADS`).
 ///
 /// # Errors
 ///
 /// Returns [`SimError::NoRuns`] when `runs` is zero, or any validation
 /// error of the underlying configuration.
 pub fn run_replicated(config: &SimulationConfig, runs: usize) -> Result<Metrics, SimError> {
-    if runs == 0 {
-        return Err(SimError::NoRuns);
-    }
-    let mut all = Vec::with_capacity(runs);
-    for r in 0..runs {
-        let result = run_once(config, config.seed + r as u64, None)?;
-        all.push(result.metrics);
-    }
-    Ok(Metrics::average(&all))
+    run_replicated_with(config, runs, &ParallelExecutor::from_env())
+}
+
+/// [`run_replicated`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRuns`] when `runs` is zero, or any validation
+/// error of the underlying configuration.
+pub fn run_replicated_with(
+    config: &SimulationConfig,
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Metrics, SimError> {
+    let mut metrics = run_grid(std::slice::from_ref(config), runs, executor)?;
+    Ok(metrics.pop().expect("one configuration yields one average"))
 }
 
 /// Runs the same pre-generated workload through several policies, so the
 /// comparison is paired (identical request streams and path bandwidths per
 /// seed). Returns one averaged [`Metrics`] per configuration, in order.
 ///
-/// All configurations must share the same workload parameters; only policy,
-/// cache size and variability may differ.
+/// The workload for each seed is generated **once** and shared by every
+/// configuration with identical workload parameters, so the pairing is
+/// structural, not merely a property of equal seeds; configurations whose
+/// workload parameters differ simply get their own generation. The
+/// `(configuration, seed)` grid is sharded across the environment-configured
+/// executor ([`ParallelExecutor::from_env`], `SC_SIM_THREADS`).
 ///
 /// # Errors
 ///
 /// Propagates validation errors; returns [`SimError::NoRuns`] when `runs`
 /// is zero.
 pub fn run_comparison(configs: &[SimulationConfig], runs: usize) -> Result<Vec<Metrics>, SimError> {
-    if runs == 0 {
-        return Err(SimError::NoRuns);
-    }
-    let mut per_config: Vec<Vec<Metrics>> = vec![Vec::with_capacity(runs); configs.len()];
-    for r in 0..runs {
-        for (ci, config) in configs.iter().enumerate() {
-            let seed = config.seed + r as u64;
-            // Workload is regenerated per seed; identical workload
-            // parameters + identical seed ⇒ identical trace across configs.
-            let result = run_once(config, seed, None)?;
-            per_config[ci].push(result.metrics);
-        }
-    }
-    Ok(per_config.iter().map(|m| Metrics::average(m)).collect())
+    run_comparison_with(configs, runs, &ParallelExecutor::from_env())
+}
+
+/// [`run_comparison`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Propagates validation errors; returns [`SimError::NoRuns`] when `runs`
+/// is zero.
+pub fn run_comparison_with(
+    configs: &[SimulationConfig],
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Vec<Metrics>, SimError> {
+    run_grid(configs, runs, executor)
 }
 
 #[cfg(test)]

@@ -1,9 +1,16 @@
 //! Parameter sweeps used by the experiment drivers.
+//!
+//! Every sweep flattens its full parameter grid — `(policy, cache size,
+//! run seed)` and friends — into one work list and hands it to the
+//! execution layer ([`crate::exec`]), so all points of a figure shard
+//! across threads at once instead of executing as nested sequential loops.
+//! Results are merged in deterministic grid order: a sweep's output is
+//! byte-identical for every thread count.
 
 use crate::config::{SimError, SimulationConfig};
+use crate::exec::{run_grid, ParallelExecutor};
 use crate::metrics::Metrics;
 use crate::report::FigureSeries;
-use crate::runner::run_replicated;
 use sc_cache::policy::PolicyKind;
 
 /// The cache sizes used across the paper's figures, expressed as fractions
@@ -28,16 +35,36 @@ pub fn sweep_cache_size(
     fractions: &[f64],
     runs: usize,
 ) -> Result<FigureSeries, SimError> {
+    sweep_cache_size_with(base, policy, fractions, runs, &ParallelExecutor::from_env())
+}
+
+/// [`sweep_cache_size`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_cache_size_with(
+    base: &SimulationConfig,
+    policy: PolicyKind,
+    fractions: &[f64],
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<FigureSeries, SimError> {
+    let configs: Vec<SimulationConfig> = fractions
+        .iter()
+        .map(|&fraction| SimulationConfig { policy, ..*base }.with_cache_fraction(fraction))
+        .collect();
+    let metrics = run_grid(&configs, runs, executor)?;
     let mut series = FigureSeries::new(policy.label());
-    for &fraction in fractions {
-        let config = SimulationConfig { policy, ..*base }.with_cache_fraction(fraction);
-        let metrics = run_replicated(&config, runs)?;
-        series.push(fraction, metrics);
+    for (&fraction, m) in fractions.iter().zip(metrics) {
+        series.push(fraction, m);
     }
     Ok(series)
 }
 
-/// Sweeps the cache size for several policies.
+/// Sweeps the cache size for several policies. The whole
+/// `policies × fractions × runs` grid is flattened into one work list and
+/// sharded across the environment-configured executor.
 ///
 /// # Errors
 ///
@@ -48,10 +75,44 @@ pub fn sweep_policies(
     fractions: &[f64],
     runs: usize,
 ) -> Result<Vec<FigureSeries>, SimError> {
-    policies
-        .iter()
-        .map(|&p| sweep_cache_size(base, p, fractions, runs))
-        .collect()
+    sweep_policies_with(
+        base,
+        policies,
+        fractions,
+        runs,
+        &ParallelExecutor::from_env(),
+    )
+}
+
+/// [`sweep_policies`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_policies_with(
+    base: &SimulationConfig,
+    policies: &[PolicyKind],
+    fractions: &[f64],
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Vec<FigureSeries>, SimError> {
+    let mut configs = Vec::with_capacity(policies.len() * fractions.len());
+    for &policy in policies {
+        for &fraction in fractions {
+            configs.push(SimulationConfig { policy, ..*base }.with_cache_fraction(fraction));
+        }
+    }
+    let metrics = run_grid(&configs, runs, executor)?;
+    let mut points = metrics.into_iter();
+    let mut out = Vec::with_capacity(policies.len());
+    for &policy in policies {
+        let mut series = FigureSeries::new(policy.label());
+        for &fraction in fractions {
+            series.push(fraction, points.next().expect("grid covers the sweep"));
+        }
+        out.push(series);
+    }
+    Ok(out)
 }
 
 /// Sweeps the conservative estimator `e` of the hybrid PB(e) policy at a
@@ -67,17 +128,42 @@ pub fn sweep_estimator(
     value_based: bool,
     runs: usize,
 ) -> Result<Vec<(f64, Metrics)>, SimError> {
-    let mut out = Vec::with_capacity(estimators.len());
-    for &e in estimators {
-        let policy = if value_based {
-            PolicyKind::PartialBandwidthValue { e }
-        } else {
-            PolicyKind::HybridPartialBandwidth { e }
-        };
-        let config = SimulationConfig { policy, ..*base }.with_cache_fraction(cache_fraction);
-        out.push((e, run_replicated(&config, runs)?));
-    }
-    Ok(out)
+    sweep_estimator_with(
+        base,
+        cache_fraction,
+        estimators,
+        value_based,
+        runs,
+        &ParallelExecutor::from_env(),
+    )
+}
+
+/// [`sweep_estimator`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_estimator_with(
+    base: &SimulationConfig,
+    cache_fraction: f64,
+    estimators: &[f64],
+    value_based: bool,
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Vec<(f64, Metrics)>, SimError> {
+    let configs: Vec<SimulationConfig> = estimators
+        .iter()
+        .map(|&e| {
+            let policy = if value_based {
+                PolicyKind::PartialBandwidthValue { e }
+            } else {
+                PolicyKind::HybridPartialBandwidth { e }
+            };
+            SimulationConfig { policy, ..*base }.with_cache_fraction(cache_fraction)
+        })
+        .collect();
+    let metrics = run_grid(&configs, runs, executor)?;
+    Ok(estimators.iter().copied().zip(metrics).collect())
 }
 
 /// Sweeps the Zipf skew parameter α for one policy at a fixed cache size.
@@ -93,13 +179,40 @@ pub fn sweep_zipf_alpha(
     alphas: &[f64],
     runs: usize,
 ) -> Result<Vec<(f64, Metrics)>, SimError> {
-    let mut out = Vec::with_capacity(alphas.len());
-    for &alpha in alphas {
-        let mut config = SimulationConfig { policy, ..*base }.with_cache_fraction(cache_fraction);
-        config.workload.trace.zipf_alpha = alpha;
-        out.push((alpha, run_replicated(&config, runs)?));
-    }
-    Ok(out)
+    sweep_zipf_alpha_with(
+        base,
+        policy,
+        cache_fraction,
+        alphas,
+        runs,
+        &ParallelExecutor::from_env(),
+    )
+}
+
+/// [`sweep_zipf_alpha`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the runner.
+pub fn sweep_zipf_alpha_with(
+    base: &SimulationConfig,
+    policy: PolicyKind,
+    cache_fraction: f64,
+    alphas: &[f64],
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Vec<(f64, Metrics)>, SimError> {
+    let configs: Vec<SimulationConfig> = alphas
+        .iter()
+        .map(|&alpha| {
+            let mut config =
+                SimulationConfig { policy, ..*base }.with_cache_fraction(cache_fraction);
+            config.workload.trace.zipf_alpha = alpha;
+            config
+        })
+        .collect();
+    let metrics = run_grid(&configs, runs, executor)?;
+    Ok(alphas.iter().copied().zip(metrics).collect())
 }
 
 #[cfg(test)]

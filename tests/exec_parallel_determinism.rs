@@ -1,0 +1,177 @@
+//! The execution layer's hard constraint: sharding the `(configuration,
+//! seed)` grid across threads must be **byte-identical** to running it
+//! sequentially. Every multi-run entry point — replicated runs, paired
+//! comparisons, and the sweeps behind the figures — is checked with the
+//! sequential executor (threads = 1) against a parallel one (threads = 4),
+//! comparing every float field bit-for-bit.
+
+use streamcache::cache::policy::PolicyKind;
+use streamcache::sim::exec::{ExecConfig, ParallelExecutor};
+use streamcache::sim::sweep::{
+    sweep_cache_size_with, sweep_estimator_with, sweep_policies_with, sweep_zipf_alpha_with,
+};
+use streamcache::sim::{
+    run_comparison_with, run_replicated_with, Metrics, SimulationConfig, VariabilityKind,
+};
+
+fn small(policy: PolicyKind, cache_fraction: f64) -> SimulationConfig {
+    SimulationConfig {
+        policy,
+        ..SimulationConfig::small()
+    }
+    .with_cache_fraction(cache_fraction)
+}
+
+fn sequential() -> ParallelExecutor {
+    ParallelExecutor::sequential()
+}
+
+fn parallel() -> ParallelExecutor {
+    ParallelExecutor::new(ExecConfig::with_threads(4))
+}
+
+/// Bit-for-bit equality on every metric field (PartialEq would treat
+/// -0.0 == 0.0 and is therefore weaker than what the golden tests need).
+fn assert_bit_identical(a: &Metrics, b: &Metrics, what: &str) {
+    assert_eq!(a.requests, b.requests, "{what}: requests");
+    for (field, x, y) in [
+        (
+            "traffic_reduction_ratio",
+            a.traffic_reduction_ratio,
+            b.traffic_reduction_ratio,
+        ),
+        (
+            "avg_service_delay_secs",
+            a.avg_service_delay_secs,
+            b.avg_service_delay_secs,
+        ),
+        (
+            "avg_stream_quality",
+            a.avg_stream_quality,
+            b.avg_stream_quality,
+        ),
+        (
+            "total_added_value",
+            a.total_added_value,
+            b.total_added_value,
+        ),
+        ("hit_ratio", a.hit_ratio, b.hit_ratio),
+        ("immediate_ratio", a.immediate_ratio, b.immediate_ratio),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: {field} diverged between sequential and parallel ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn replicated_runs_are_thread_count_invariant() {
+    for policy in [
+        PolicyKind::PartialBandwidth,
+        PolicyKind::IntegralFrequency,
+        PolicyKind::HybridPartialBandwidth { e: 0.5 },
+    ] {
+        let config = small(policy, 0.05);
+        let seq = run_replicated_with(&config, 4, &sequential()).unwrap();
+        let par = run_replicated_with(&config, 4, &parallel()).unwrap();
+        assert_bit_identical(&seq, &par, &policy.label());
+    }
+}
+
+#[test]
+fn comparisons_are_thread_count_invariant_and_paired() {
+    let configs = vec![
+        small(PolicyKind::IntegralFrequency, 0.05),
+        small(PolicyKind::PartialBandwidth, 0.05),
+        small(PolicyKind::IntegralBandwidth, 0.05),
+    ];
+    let seq = run_comparison_with(&configs, 2, &sequential()).unwrap();
+    let par = run_comparison_with(&configs, 2, &parallel()).unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_bit_identical(a, b, &configs[i].policy.label());
+    }
+    // The shared-workload path must agree with generating each replicated
+    // run on its own (the pre-refactor behaviour of run_comparison).
+    for (config, compared) in configs.iter().zip(&seq) {
+        let alone = run_replicated_with(config, 2, &sequential()).unwrap();
+        assert_bit_identical(compared, &alone, "comparison vs standalone");
+    }
+}
+
+#[test]
+fn policy_sweep_is_thread_count_invariant() {
+    let base = SimulationConfig {
+        variability: VariabilityKind::MeasuredModerate,
+        ..SimulationConfig::small()
+    };
+    let policies = [PolicyKind::PartialBandwidth, PolicyKind::IntegralBandwidth];
+    let fractions = [0.02, 0.05, 0.1];
+    let seq = sweep_policies_with(&base, &policies, &fractions, 2, &sequential()).unwrap();
+    let par = sweep_policies_with(&base, &policies, &fractions, 2, &parallel()).unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.points.len(), p.points.len());
+        for (sp, pp) in s.points.iter().zip(&p.points) {
+            assert_eq!(sp.x.to_bits(), pp.x.to_bits());
+            assert_bit_identical(&sp.metrics, &pp.metrics, &s.label);
+        }
+    }
+    // The flattened multi-policy grid must agree with per-policy sweeps.
+    for (i, &policy) in policies.iter().enumerate() {
+        let single = sweep_cache_size_with(&base, policy, &fractions, 2, &sequential()).unwrap();
+        for (sp, pp) in seq[i].points.iter().zip(&single.points) {
+            assert_bit_identical(&sp.metrics, &pp.metrics, "flattened vs single sweep");
+        }
+    }
+}
+
+#[test]
+fn estimator_and_zipf_sweeps_are_thread_count_invariant() {
+    let base = SimulationConfig::small();
+    let seq_e = sweep_estimator_with(&base, 0.05, &[0.0, 0.5, 1.0], false, 2, &sequential());
+    let par_e = sweep_estimator_with(&base, 0.05, &[0.0, 0.5, 1.0], false, 2, &parallel());
+    for ((xs, ms), (xp, mp)) in seq_e.unwrap().iter().zip(&par_e.unwrap()) {
+        assert_eq!(xs, xp);
+        assert_bit_identical(ms, mp, "estimator sweep");
+    }
+
+    let seq_z = sweep_zipf_alpha_with(
+        &base,
+        PolicyKind::PartialBandwidth,
+        0.05,
+        &[0.6, 1.2],
+        2,
+        &sequential(),
+    );
+    let par_z = sweep_zipf_alpha_with(
+        &base,
+        PolicyKind::PartialBandwidth,
+        0.05,
+        &[0.6, 1.2],
+        2,
+        &parallel(),
+    );
+    for ((xs, ms), (xp, mp)) in seq_z.unwrap().iter().zip(&par_z.unwrap()) {
+        assert_eq!(xs, xp);
+        assert_bit_identical(ms, mp, "zipf sweep");
+    }
+}
+
+#[test]
+fn oversubscribed_executor_is_still_deterministic() {
+    // More threads than work items, and a thread count far above the
+    // machine's parallelism, must not change a single bit.
+    let config = small(PolicyKind::PartialBandwidth, 0.05);
+    let seq = run_replicated_with(&config, 2, &sequential()).unwrap();
+    let over = run_replicated_with(
+        &config,
+        2,
+        &ParallelExecutor::new(ExecConfig::with_threads(32)),
+    )
+    .unwrap();
+    assert_bit_identical(&seq, &over, "oversubscribed");
+}
