@@ -1,0 +1,20 @@
+//! Regenerates Figure 13 (beyond the paper): PB under AR(1) bandwidth
+//! drift, comparing the oracle-mean, EWMA, windowed and probe bandwidth
+//! estimators. Pass `--scale paper` for the full-scale run (default:
+//! quick) and `--bandwidth iid` for the no-drift control (emitted as
+//! `fig13_iid`).
+
+use sc_sim::experiments::fig13_with;
+use sc_sim::BandwidthModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = sc_bench::scale_from_args();
+    // Unlike fig7/fig8, drift is this figure's point: AR(1) is the default
+    // and `--bandwidth iid` selects the no-drift control.
+    let model = sc_bench::bandwidth_model_from_args_or(BandwidthModel::ar1_default());
+    let start = std::time::Instant::now();
+    let figure = fig13_with(scale, model)?;
+    sc_bench::emit_timed(&figure, start.elapsed());
+    println!("(scale: {scale:?}, bandwidth model: {})", model.label());
+    Ok(())
+}

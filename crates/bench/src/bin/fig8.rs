@@ -1,13 +1,16 @@
 //! Regenerates Figure 8 of the paper. Pass `--scale paper` for the
-//! full-scale run (default: quick).
+//! full-scale run (default: quick) and `--bandwidth ar1` to replace the
+//! i.i.d. per-request ratios by AR(1) bandwidth evolution (emitted as
+//! `fig8_ar1`).
 
-use sc_sim::experiments::fig8;
+use sc_sim::experiments::fig8_with;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = sc_bench::scale_from_args();
+    let model = sc_bench::bandwidth_model_from_args();
     let start = std::time::Instant::now();
-    let figure = fig8(scale)?;
+    let figure = fig8_with(scale, model)?;
     sc_bench::emit_timed(&figure, start.elapsed());
-    println!("(scale: {scale:?})");
+    println!("(scale: {scale:?}, bandwidth model: {})", model.label());
     Ok(())
 }

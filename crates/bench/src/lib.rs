@@ -16,7 +16,7 @@
 
 use sc_sim::exec::ExecConfig;
 use sc_sim::experiments::ExperimentScale;
-use sc_sim::{FigureResult, Metrics};
+use sc_sim::{BandwidthModel, FigureResult, Metrics};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -68,6 +68,37 @@ pub fn scale_from_args() -> ExperimentScale {
         }
     }
     scale
+}
+
+/// Parses the `--bandwidth <iid|ar1>` command-line option; defaults to
+/// [`BandwidthModel::Iid`] (the paper's i.i.d. per-request ratios). `ar1`
+/// selects [`BandwidthModel::ar1_default`], the mean-reverting evolution of
+/// every path sampled on the simulation clock; the affected figure bins
+/// (`fig7`, `fig8`) then emit under a `_ar1`-suffixed id so both variants
+/// can sit side by side under `results/`.
+pub fn bandwidth_model_from_args() -> BandwidthModel {
+    bandwidth_model_from_args_or(BandwidthModel::Iid)
+}
+
+/// [`bandwidth_model_from_args`] with an explicit default for when the
+/// `--bandwidth` option is absent — `fig13` defaults to AR(1) because
+/// drift is its subject, while `fig7`/`fig8` default to the paper's
+/// i.i.d. setting.
+pub fn bandwidth_model_from_args_or(default: BandwidthModel) -> BandwidthModel {
+    let args: Vec<String> = std::env::args().collect();
+    let mut model = default;
+    for window in args.windows(2) {
+        if window[0] == "--bandwidth" {
+            model = match window[1].as_str() {
+                "ar1" | "timevarying" => BandwidthModel::ar1_default(),
+                "iid" => BandwidthModel::Iid,
+                // Like scale_from_args, unknown values keep the bin's
+                // default instead of silently switching experiments.
+                _ => default,
+            };
+        }
+    }
+    model
 }
 
 /// Prints a figure as a plain-text table and writes it as JSON under
@@ -222,6 +253,11 @@ mod tests {
     #[test]
     fn default_scale_is_quick() {
         assert_eq!(scale_from_args(), ExperimentScale::Quick);
+    }
+
+    #[test]
+    fn default_bandwidth_model_is_iid() {
+        assert_eq!(bandwidth_model_from_args(), BandwidthModel::Iid);
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl PathModel {
             cov: self.variability.coefficient_of_variation(),
             autocorrelation,
             interval_secs,
+            ..TimeSeriesConfig::default()
         };
         BandwidthTimeSeries::generate(&cfg, samples, rng)
             .expect("path-derived time series config is always valid")

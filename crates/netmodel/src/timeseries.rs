@@ -22,6 +22,13 @@ pub struct TimeSeriesConfig {
     pub autocorrelation: f64,
     /// Sampling interval in seconds (the paper samples every 4 minutes).
     pub interval_secs: f64,
+    /// Lower bound on every sample, as a fraction of `mean_bps`. A path
+    /// never loses *all* bandwidth; the default keeps samples above
+    /// `mean_bps / 1000`.
+    pub floor_ratio: f64,
+    /// Upper bound on every sample, as a fraction of `mean_bps` — the
+    /// path's physical capacity. Defaults to [`f64::INFINITY`] (no ceiling).
+    pub ceiling_ratio: f64,
 }
 
 impl Default for TimeSeriesConfig {
@@ -31,6 +38,8 @@ impl Default for TimeSeriesConfig {
             cov: 0.2,
             autocorrelation: 0.8,
             interval_secs: 240.0,
+            floor_ratio: 1e-3,
+            ceiling_ratio: f64::INFINITY,
         }
     }
 }
@@ -61,6 +70,18 @@ impl TimeSeriesConfig {
                 self.interval_secs,
             ));
         }
+        if self.floor_ratio.is_nan() || self.floor_ratio < 0.0 {
+            return Err(NetModelError::InvalidParameter(
+                "floor_ratio",
+                self.floor_ratio,
+            ));
+        }
+        if self.ceiling_ratio.is_nan() || self.ceiling_ratio <= self.floor_ratio {
+            return Err(NetModelError::InvalidParameter(
+                "ceiling_ratio",
+                self.ceiling_ratio,
+            ));
+        }
         Ok(())
     }
 }
@@ -77,8 +98,28 @@ impl BandwidthTimeSeries {
     ///
     /// The process is an AR(1) in the bandwidth domain,
     /// `x_{t+1} = mean + rho (x_t - mean) + eps`, with innovations scaled so
-    /// the marginal standard deviation equals `cov * mean`; samples are
-    /// clamped at a small positive floor.
+    /// the marginal standard deviation equals `cov * mean`; every sample
+    /// (and the process state itself) is clamped into
+    /// `[mean * floor_ratio, mean * ceiling_ratio]`.
+    ///
+    /// ```
+    /// use sc_netmodel::{BandwidthTimeSeries, TimeSeriesConfig};
+    /// use rand::SeedableRng;
+    ///
+    /// // A 30-hour trace of a 100 KB/s path sampled every 4 minutes, the
+    /// // measurement methodology behind Figure 4 of the paper.
+    /// let config = TimeSeriesConfig {
+    ///     mean_bps: 100_000.0,
+    ///     cov: 0.2,
+    ///     ..TimeSeriesConfig::default()
+    /// };
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    /// let series = BandwidthTimeSeries::generate(&config, 450, &mut rng)?;
+    /// assert_eq!(series.len(), 450);
+    /// assert!((series.duration_hours() - 30.0).abs() < 1e-9);
+    /// assert!(series.samples_bps().iter().all(|&bw| bw > 0.0));
+    /// # Ok::<(), sc_netmodel::NetModelError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -92,13 +133,14 @@ impl BandwidthTimeSeries {
         let rho = config.autocorrelation;
         let sigma_marginal = config.cov * config.mean_bps;
         let sigma_innov = sigma_marginal * (1.0 - rho * rho).sqrt();
-        let floor = config.mean_bps * 1e-3;
+        let floor = config.mean_bps * config.floor_ratio;
+        let ceiling = config.mean_bps * config.ceiling_ratio;
         let mut samples = Vec::with_capacity(n);
-        let mut x = config.mean_bps;
+        let mut x = config.mean_bps.clamp(floor, ceiling);
         for _ in 0..n {
             let eps = sigma_innov * standard_normal(rng);
-            x = config.mean_bps + rho * (x - config.mean_bps) + eps;
-            samples.push(x.max(floor));
+            x = (config.mean_bps + rho * (x - config.mean_bps) + eps).clamp(floor, ceiling);
+            samples.push(x);
         }
         Ok(BandwidthTimeSeries {
             interval_secs: config.interval_secs,
@@ -200,6 +242,19 @@ mod tests {
                 interval_secs: 0.0,
                 ..Default::default()
             },
+            TimeSeriesConfig {
+                floor_ratio: -0.1,
+                ..Default::default()
+            },
+            TimeSeriesConfig {
+                floor_ratio: 0.8,
+                ceiling_ratio: 0.5,
+                ..Default::default()
+            },
+            TimeSeriesConfig {
+                ceiling_ratio: f64::NAN,
+                ..Default::default()
+            },
         ];
         let mut rng = StdRng::seed_from_u64(1);
         for cfg in bad {
@@ -214,6 +269,7 @@ mod tests {
             cov: 0.3,
             autocorrelation: 0.7,
             interval_secs: 240.0,
+            ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(2);
         let ts = BandwidthTimeSeries::generate(&cfg, 20_000, &mut rng).unwrap();
@@ -263,6 +319,30 @@ mod tests {
             .samples_bps()
             .iter()
             .all(|&x| (x - cfg.mean_bps).abs() < 1e-6));
+    }
+
+    #[test]
+    fn samples_respect_floor_and_ceiling_across_long_runs() {
+        // Seeded-loop property test: for a spread of seeds and shapes, every
+        // sample of a long run stays inside the configured bounds.
+        for seed in 0..24u64 {
+            let cfg = TimeSeriesConfig {
+                mean_bps: 50_000.0 + 10_000.0 * (seed % 5) as f64,
+                cov: 0.1 + 0.15 * (seed % 4) as f64,
+                autocorrelation: 0.05 + 0.9 * ((seed % 3) as f64 / 2.0).min(0.99),
+                floor_ratio: 0.5,
+                ceiling_ratio: 1.5,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ts = BandwidthTimeSeries::generate(&cfg, 20_000, &mut rng).unwrap();
+            let lo = cfg.mean_bps * cfg.floor_ratio;
+            let hi = cfg.mean_bps * cfg.ceiling_ratio;
+            assert!(
+                ts.samples_bps().iter().all(|&x| (lo..=hi).contains(&x)),
+                "seed {seed}: sample escaped [{lo}, {hi}]"
+            );
+        }
     }
 
     #[test]

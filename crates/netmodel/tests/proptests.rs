@@ -102,6 +102,7 @@ fn timeseries_positive() {
             cov: rng.gen_range(0.0..0.6),
             autocorrelation: 0.5,
             interval_secs: 60.0,
+            ..TimeSeriesConfig::default()
         };
         let ts = BandwidthTimeSeries::generate(&cfg, 256, &mut rng).unwrap();
         assert!(ts.samples_bps().iter().all(|&x| x > 0.0));

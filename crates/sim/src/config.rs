@@ -49,6 +49,158 @@ impl VariabilityKind {
     }
 }
 
+/// How each path's *instantaneous* bandwidth relates to its long-run
+/// average over the course of a simulated session.
+///
+/// The paper's measurements (Section 3.1) show both a marginal ratio
+/// distribution (Figures 3–4) and temporal structure: bandwidth drifts
+/// slowly around the mean rather than being redrawn independently for every
+/// request. [`BandwidthModel::Iid`] reproduces only the marginal
+/// distribution; [`BandwidthModel::Ar1`] additionally reproduces the drift
+/// by evolving every path through the mean-reverting AR(1) process of
+/// [`sc_netmodel::BandwidthTimeSeries`], sampled at each request's arrival
+/// time on the simulation clock.
+///
+/// ```
+/// use sc_sim::{BandwidthModel, SimulationConfig};
+///
+/// let mut config = SimulationConfig::small();
+/// assert_eq!(config.bandwidth_model, BandwidthModel::Iid);
+/// // Switch Figure 7/8-style runs to time-varying bandwidth.
+/// config.bandwidth_model = BandwidthModel::ar1_default();
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandwidthModel {
+    /// Each request draws an independent sample-to-mean ratio from the
+    /// configured [`VariabilityKind`] — the seed behaviour, and the model
+    /// behind the golden regression metrics.
+    Iid,
+    /// Each path's bandwidth evolves as a mean-reverting AR(1) process
+    /// ([`sc_netmodel::TimeSeriesConfig`]): the path mean comes from the
+    /// NLANR-like base distribution and the marginal coefficient of
+    /// variation from the configured [`VariabilityKind`], so only the
+    /// *temporal* parameters live here.
+    Ar1 {
+        /// Autocorrelation of consecutive series samples, in `[0, 1)`.
+        autocorrelation: f64,
+        /// Spacing of the series samples in (simulated) seconds.
+        interval_secs: f64,
+    },
+}
+
+impl BandwidthModel {
+    /// The default AR(1) parameterisation: strongly correlated samples
+    /// (`rho = 0.9`) every four minutes, matching the measurement cadence
+    /// of the paper's Figure 4 paths.
+    pub fn ar1_default() -> Self {
+        BandwidthModel::Ar1 {
+            autocorrelation: 0.9,
+            interval_secs: 240.0,
+        }
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BandwidthModel::Iid => "iid",
+            BandwidthModel::Ar1 { .. } => "ar1",
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BandwidthModel`] when the AR(1) autocorrelation
+    /// is outside `[0, 1)` or the sampling interval is not positive.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let BandwidthModel::Ar1 {
+            autocorrelation,
+            interval_secs,
+        } = *self
+        {
+            if !autocorrelation.is_finite() || !(0.0..1.0).contains(&autocorrelation) {
+                return Err(SimError::BandwidthModel(format!(
+                    "AR(1) autocorrelation must lie in [0, 1), got {autocorrelation}"
+                )));
+            }
+            if !interval_secs.is_finite() || interval_secs <= 0.0 {
+                return Err(SimError::BandwidthModel(format!(
+                    "AR(1) interval must be positive and finite, got {interval_secs}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How the caching algorithm estimates each path's bandwidth (Section 2.7
+/// of the paper).
+///
+/// The cache's placement decisions need a bandwidth estimate per origin
+/// path; the transfer itself experiences the *true* instantaneous
+/// bandwidth. Under time-varying bandwidth ([`BandwidthModel::Ar1`]) the
+/// estimator's staleness becomes a first-order effect — the subject of the
+/// fig13 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorKind {
+    /// An oracle that always reports the path's long-run mean — the seed
+    /// behaviour, exact under [`BandwidthModel::Iid`], increasingly stale
+    /// under drift.
+    Oracle,
+    /// Passive exponentially-weighted moving average over the throughput of
+    /// past transfers ([`sc_netmodel::EwmaEstimator`]).
+    Ewma {
+        /// Weight of the newest observation, in `[0, 1]`.
+        alpha: f64,
+    },
+    /// Passive sliding-window mean over the last `window` transfers
+    /// ([`sc_netmodel::WindowedEstimator`]).
+    Windowed {
+        /// Number of recent transfers averaged.
+        window: usize,
+    },
+    /// Active probing: measure the path's current bandwidth just before
+    /// each placement decision ([`sc_netmodel::ProbeEstimator`]) — fresh
+    /// but (in a real proxy) not free.
+    Probe,
+}
+
+impl EstimatorKind {
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EstimatorKind::Oracle => "oracle-mean",
+            EstimatorKind::Ewma { .. } => "ewma",
+            EstimatorKind::Windowed { .. } => "windowed",
+            EstimatorKind::Probe => "probe",
+        }
+    }
+
+    /// Validates the estimator parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Estimator`] for an EWMA weight outside `[0, 1]`
+    /// or a zero-length window.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match *self {
+            EstimatorKind::Ewma { alpha }
+                if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) =>
+            {
+                Err(SimError::Estimator(format!(
+                    "EWMA alpha must lie in [0, 1], got {alpha}"
+                )))
+            }
+            EstimatorKind::Windowed { window: 0 } => Err(SimError::Estimator(
+                "window must hold at least one sample".to_string(),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Error returned when a [`SimulationConfig`] is invalid.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -60,6 +212,10 @@ pub enum SimError {
     Workload(String),
     /// The number of replicated runs was zero.
     NoRuns,
+    /// The bandwidth model parameters were invalid.
+    BandwidthModel(String),
+    /// The bandwidth estimator parameters were invalid.
+    Estimator(String),
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +229,8 @@ impl fmt::Display for SimError {
             }
             SimError::Workload(why) => write!(f, "invalid workload configuration: {why}"),
             SimError::NoRuns => write!(f, "at least one simulation run is required"),
+            SimError::BandwidthModel(why) => write!(f, "invalid bandwidth model: {why}"),
+            SimError::Estimator(why) => write!(f, "invalid bandwidth estimator: {why}"),
         }
     }
 }
@@ -88,8 +246,13 @@ pub struct SimulationConfig {
     pub cache_size_bytes: f64,
     /// Replacement policy under test.
     pub policy: PolicyKind,
-    /// Bandwidth variability model.
+    /// Bandwidth variability model (the marginal ratio distribution).
     pub variability: VariabilityKind,
+    /// Temporal structure of each path's bandwidth: i.i.d. per-request
+    /// ratios or an AR(1) evolution sampled on the simulation clock.
+    pub bandwidth_model: BandwidthModel,
+    /// How the caching algorithm estimates per-path bandwidth.
+    pub estimator: EstimatorKind,
     /// Fraction of the trace used to warm the cache before metrics are
     /// collected (the paper uses the first half, i.e. `0.5`).
     pub warmup_fraction: f64,
@@ -104,6 +267,8 @@ impl Default for SimulationConfig {
             cache_size_bytes: 32.0 * 1e9,
             policy: PolicyKind::PartialBandwidth,
             variability: VariabilityKind::Constant,
+            bandwidth_model: BandwidthModel::Iid,
+            estimator: EstimatorKind::Oracle,
             warmup_fraction: 0.5,
             seed: 1,
         }
@@ -158,6 +323,8 @@ impl SimulationConfig {
         if !self.warmup_fraction.is_finite() || !(0.0..1.0).contains(&self.warmup_fraction) {
             return Err(SimError::InvalidWarmup(self.warmup_fraction));
         }
+        self.bandwidth_model.validate()?;
+        self.estimator.validate()?;
         self.workload
             .validate()
             .map_err(|e| SimError::Workload(e.to_string()))?;
@@ -227,5 +394,71 @@ mod tests {
     fn sim_error_display() {
         assert!(SimError::NoRuns.to_string().contains("at least one"));
         assert!(SimError::InvalidCacheSize(-2.0).to_string().contains("-2"));
+        assert!(SimError::BandwidthModel("x".into())
+            .to_string()
+            .contains("bandwidth model"));
+        assert!(SimError::Estimator("x".into())
+            .to_string()
+            .contains("estimator"));
+    }
+
+    #[test]
+    fn default_bandwidth_model_is_iid_with_oracle_estimator() {
+        let c = SimulationConfig::paper_default();
+        assert_eq!(c.bandwidth_model, BandwidthModel::Iid);
+        assert_eq!(c.estimator, EstimatorKind::Oracle);
+        assert_eq!(c.bandwidth_model.label(), "iid");
+        assert_eq!(c.estimator.label(), "oracle-mean");
+    }
+
+    #[test]
+    fn bandwidth_model_validation() {
+        assert!(BandwidthModel::Iid.validate().is_ok());
+        assert!(BandwidthModel::ar1_default().validate().is_ok());
+        assert_eq!(BandwidthModel::ar1_default().label(), "ar1");
+        for bad in [
+            BandwidthModel::Ar1 {
+                autocorrelation: 1.0,
+                interval_secs: 240.0,
+            },
+            BandwidthModel::Ar1 {
+                autocorrelation: -0.1,
+                interval_secs: 240.0,
+            },
+            BandwidthModel::Ar1 {
+                autocorrelation: 0.5,
+                interval_secs: 0.0,
+            },
+        ] {
+            assert!(matches!(bad.validate(), Err(SimError::BandwidthModel(_))));
+            let mut c = SimulationConfig::small();
+            c.bandwidth_model = bad;
+            assert!(c.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn estimator_kind_validation() {
+        assert!(EstimatorKind::Oracle.validate().is_ok());
+        assert!(EstimatorKind::Probe.validate().is_ok());
+        assert!(EstimatorKind::Ewma { alpha: 0.3 }.validate().is_ok());
+        assert!(EstimatorKind::Windowed { window: 8 }.validate().is_ok());
+        for bad in [
+            EstimatorKind::Ewma { alpha: -0.1 },
+            EstimatorKind::Ewma { alpha: 1.5 },
+            EstimatorKind::Windowed { window: 0 },
+        ] {
+            assert!(matches!(bad.validate(), Err(SimError::Estimator(_))));
+            let mut c = SimulationConfig::small();
+            c.estimator = bad;
+            assert!(c.validate().is_err());
+        }
+        for kind in [
+            EstimatorKind::Ewma { alpha: 0.3 },
+            EstimatorKind::Windowed { window: 8 },
+            EstimatorKind::Probe,
+        ] {
+            assert!(!kind.label().is_empty());
+        }
     }
 }

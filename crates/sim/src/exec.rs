@@ -25,7 +25,7 @@
 //! [`run_replicated`]: crate::run_replicated
 //! [`run_comparison`]: crate::run_comparison
 
-use crate::bandwidth::BandwidthProvider;
+use crate::bandwidth::{BandwidthProvider, EstimatorBank};
 use crate::config::{SimError, SimulationConfig};
 use crate::delivery::deliver;
 use crate::metrics::{Metrics, MetricsCollector};
@@ -196,8 +196,19 @@ impl SimWorker {
 
         // Bandwidth state and the per-request variability stream use a seed
         // derived from the run seed but decoupled from workload generation.
+        // In AR(1) mode the per-path series span the whole trace (the last
+        // arrival time); in i.i.d. mode the horizon is irrelevant and the
+        // rng stream is identical to the seed behaviour.
         let mut bw_rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let provider = BandwidthProvider::generate(catalog.len(), config.variability, &mut bw_rng);
+        let horizon_secs = trace.requests().last().map_or(0.0, |r| r.time_secs);
+        let provider = BandwidthProvider::generate_with_model(
+            catalog.len(),
+            config.variability,
+            config.bandwidth_model,
+            horizon_secs,
+            &mut bw_rng,
+        );
+        let mut estimators = EstimatorBank::new(config.estimator, catalog.len());
 
         let mut cache = CacheEngine::new(config.cache_size_bytes, config.policy.build())
             .map_err(|e| SimError::Workload(e.to_string()))?;
@@ -209,16 +220,24 @@ impl SimWorker {
             let obj = catalog.object(request.object);
             let meta = to_meta(obj);
             let index = obj.id.index();
-            let estimated = provider.estimated_bps(index);
-            let instantaneous = provider.instantaneous_bps(index, &mut bw_rng);
+            let oracle = provider.estimated_bps(index);
+            let instantaneous = provider.request_bps(index, request.time_secs, &mut bw_rng);
 
-            // The caching algorithm sees the measured (average) bandwidth;
-            // the actual transfer experiences the instantaneous bandwidth.
+            // The caching algorithm sees the configured estimator's view of
+            // the path; the actual transfer experiences the instantaneous
+            // bandwidth at the request's arrival time.
+            let estimated = estimators.decision_bps(index, oracle, instantaneous);
             let outcome = cache.on_access(&meta, estimated);
 
             if i >= warmup_len {
                 let delivery = deliver(&meta, outcome.cached_bytes_before, instantaneous);
                 collector.record(&delivery);
+            }
+
+            // Passive estimators learn from transfers that actually touched
+            // the origin; a full cache hit reveals nothing about the path.
+            if outcome.cached_bytes_before < meta.size_bytes() {
+                estimators.observe_transfer(index, instantaneous);
             }
         }
 

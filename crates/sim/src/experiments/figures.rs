@@ -1,6 +1,6 @@
 //! Figures 5–9: delay/quality-oriented policy comparisons.
 
-use crate::config::{SimError, SimulationConfig, VariabilityKind};
+use crate::config::{BandwidthModel, SimError, SimulationConfig, VariabilityKind};
 use crate::experiments::ExperimentScale;
 use crate::report::{FigureResult, FigureSeries};
 use crate::sweep::{sweep_estimator, sweep_policies, sweep_zipf_alpha};
@@ -19,8 +19,27 @@ pub fn policy_comparison_figure(
     variability: VariabilityKind,
     scale: ExperimentScale,
 ) -> Result<FigureResult, SimError> {
+    policy_comparison_figure_with_model(id, title, variability, BandwidthModel::Iid, scale)
+}
+
+/// [`policy_comparison_figure`] under an explicit [`BandwidthModel`] —
+/// running a figure in [`BandwidthModel::Ar1`] mode replaces the i.i.d.
+/// per-request ratios by a mean-reverting evolution of every path, which is
+/// the more faithful reading of the paper's Figure 4 measurements.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn policy_comparison_figure_with_model(
+    id: &str,
+    title: &str,
+    variability: VariabilityKind,
+    bandwidth_model: BandwidthModel,
+    scale: ExperimentScale,
+) -> Result<FigureResult, SimError> {
     let base = SimulationConfig {
         variability,
+        bandwidth_model,
         ..scale.base_config()
     };
     let policies = [
@@ -57,12 +76,27 @@ pub fn fig5(scale: ExperimentScale) -> Result<FigureResult, SimError> {
 ///
 /// Propagates configuration validation errors from the simulator.
 pub fn fig7(scale: ExperimentScale) -> Result<FigureResult, SimError> {
-    policy_comparison_figure(
-        "fig7",
-        "IF vs PB vs IB under high (NLANR-like) bandwidth variability",
-        VariabilityKind::NlanrLike,
-        scale,
-    )
+    fig7_with(scale, BandwidthModel::Iid)
+}
+
+/// [`fig7`] under an explicit [`BandwidthModel`]. In AR(1) mode the figure
+/// id becomes `fig7_ar1`, so both variants can be emitted side by side.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn fig7_with(scale: ExperimentScale, model: BandwidthModel) -> Result<FigureResult, SimError> {
+    let (id, title) = match model {
+        BandwidthModel::Iid => (
+            "fig7",
+            "IF vs PB vs IB under high (NLANR-like) bandwidth variability",
+        ),
+        BandwidthModel::Ar1 { .. } => (
+            "fig7_ar1",
+            "IF vs PB vs IB under high (NLANR-like) AR(1) bandwidth evolution",
+        ),
+    };
+    policy_comparison_figure_with_model(id, title, VariabilityKind::NlanrLike, model, scale)
 }
 
 /// Figure 8: the same comparison under **low** (measured-path) bandwidth
@@ -72,12 +106,27 @@ pub fn fig7(scale: ExperimentScale) -> Result<FigureResult, SimError> {
 ///
 /// Propagates configuration validation errors from the simulator.
 pub fn fig8(scale: ExperimentScale) -> Result<FigureResult, SimError> {
-    policy_comparison_figure(
-        "fig8",
-        "IF vs PB vs IB under measured-path bandwidth variability",
-        VariabilityKind::MeasuredModerate,
-        scale,
-    )
+    fig8_with(scale, BandwidthModel::Iid)
+}
+
+/// [`fig8`] under an explicit [`BandwidthModel`]. In AR(1) mode the figure
+/// id becomes `fig8_ar1`, so both variants can be emitted side by side.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the simulator.
+pub fn fig8_with(scale: ExperimentScale, model: BandwidthModel) -> Result<FigureResult, SimError> {
+    let (id, title) = match model {
+        BandwidthModel::Iid => (
+            "fig8",
+            "IF vs PB vs IB under measured-path bandwidth variability",
+        ),
+        BandwidthModel::Ar1 { .. } => (
+            "fig8_ar1",
+            "IF vs PB vs IB under measured-path AR(1) bandwidth evolution",
+        ),
+    };
+    policy_comparison_figure_with_model(id, title, VariabilityKind::MeasuredModerate, model, scale)
 }
 
 /// Figure 6: effect of the Zipf-like popularity skew α on PB and IB, over a
@@ -184,6 +233,25 @@ mod tests {
             );
             assert!(pb_m.avg_stream_quality + 0.02 >= if_m.avg_stream_quality);
         }
+    }
+
+    #[test]
+    fn fig7_and_fig8_run_in_ar1_mode_with_distinct_ids() {
+        let ar1 = BandwidthModel::ar1_default();
+        let f7 = fig7_with(ExperimentScale::Test, ar1).unwrap();
+        assert_eq!(f7.id, "fig7_ar1");
+        assert_eq!(f7.series.len(), 3);
+        let f8 = fig8_with(ExperimentScale::Test, ar1).unwrap();
+        assert_eq!(f8.id, "fig8_ar1");
+        // AR(1) evolution must actually change the numbers relative to the
+        // i.i.d. run of the same figure (same seeds, same workload).
+        let f8_iid = fig8(ExperimentScale::Test).unwrap();
+        assert_eq!(f8_iid.id, "fig8");
+        assert_ne!(
+            f8.series("PB").unwrap().points[0].metrics,
+            f8_iid.series("PB").unwrap().points[0].metrics,
+            "AR(1) mode did not alter the simulation"
+        );
     }
 
     #[test]

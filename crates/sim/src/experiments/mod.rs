@@ -6,12 +6,23 @@
 //! tables and JSON. Absolute values differ from the paper (the bandwidth
 //! models are synthetic equivalents — see `DESIGN.md`), but the qualitative
 //! shape (which policy wins, where crossovers occur) is preserved.
+//!
+//! Beyond the paper: [`fig7_with`]/[`fig8_with`] rerun the
+//! variable-bandwidth figures under AR(1) bandwidth evolution
+//! ([`crate::BandwidthModel::Ar1`]) instead of i.i.d. ratios, and [`fig13`]
+//! studies how bandwidth-estimator staleness (oracle vs EWMA vs windowed vs
+//! probe) affects partial caching under that drift.
 
+mod estimator_figures;
 mod figures;
 mod table1;
 mod value_figures;
 
-pub use figures::{fig5, fig6, fig7, fig8, fig9, policy_comparison_figure};
+pub use estimator_figures::{fig13, fig13_with, FIG13_ESTIMATORS};
+pub use figures::{
+    fig5, fig6, fig7, fig7_with, fig8, fig8_with, fig9, policy_comparison_figure,
+    policy_comparison_figure_with_model,
+};
 pub use table1::{table1, Table1};
 pub use value_figures::{fig10, fig11, fig12, value_comparison_figure};
 

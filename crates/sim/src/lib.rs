@@ -17,11 +17,19 @@
 //!   threads (`SC_SIM_THREADS`, default = available parallelism) and merge
 //!   in deterministic seed order, so results are byte-identical to a
 //!   sequential run;
+//! * [`BandwidthModel`] — the temporal structure of path bandwidth:
+//!   i.i.d. per-request ratios or a mean-reverting AR(1) evolution
+//!   ([`sc_netmodel::BandwidthTimeSeries`]) sampled on the simulation
+//!   clock;
+//! * [`EstimatorKind`] — what the caching algorithm knows about each path:
+//!   an oracle long-run mean, passive EWMA/windowed measurement, or active
+//!   probing;
 //! * [`Metrics`] — the paper's four metrics (traffic-reduction ratio,
 //!   average service delay, average stream quality, total added value);
 //! * [`sweep`] — cache-size, estimator and Zipf-α parameter sweeps;
 //! * [`experiments`] — one driver per table/figure of the paper
-//!   (`table1`, `fig5` … `fig12`), each returning a [`FigureResult`].
+//!   (`table1`, `fig5` … `fig12`, plus the `fig13` estimator-staleness
+//!   study), each returning a [`FigureResult`].
 //!
 //! ```
 //! use sc_cache::policy::PolicyKind;
@@ -53,8 +61,8 @@ mod report;
 mod runner;
 pub mod sweep;
 
-pub use bandwidth::BandwidthProvider;
-pub use config::{SimError, SimulationConfig, VariabilityKind};
+pub use bandwidth::{BandwidthProvider, EstimatorBank};
+pub use config::{BandwidthModel, EstimatorKind, SimError, SimulationConfig, VariabilityKind};
 pub use delivery::{deliver, DeliveryOutcome};
 pub use exec::{ExecConfig, ParallelExecutor, SharedWorkload, SimWorker};
 pub use metrics::{Metrics, MetricsCollector};

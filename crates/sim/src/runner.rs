@@ -5,6 +5,13 @@
 //! ([`crate::exec`]), which shards the independent `(configuration, seed)`
 //! grid across threads and merges results in deterministic seed order —
 //! parallel output is byte-identical to sequential output.
+//!
+//! All entry points take their bandwidth behaviour from the configuration:
+//! [`SimulationConfig::bandwidth_model`] selects i.i.d. per-request ratios
+//! or AR(1) evolution on the simulation clock, and
+//! [`SimulationConfig::estimator`] selects what the caching algorithm
+//! knows about each path (oracle mean, passive EWMA/windowed measurement,
+//! or active probing).
 
 use crate::config::{SimError, SimulationConfig};
 use crate::exec::{run_grid, ParallelExecutor, SimWorker};

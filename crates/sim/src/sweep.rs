@@ -6,6 +6,11 @@
 //! across threads at once instead of executing as nested sequential loops.
 //! Results are merged in deterministic grid order: a sweep's output is
 //! byte-identical for every thread count.
+//!
+//! Sweeps vary exactly one dimension and inherit everything else — in
+//! particular [`SimulationConfig::bandwidth_model`] and
+//! [`SimulationConfig::estimator`] — from the base configuration, so any
+//! sweep runs unchanged under i.i.d. or AR(1) bandwidth.
 
 use crate::config::{SimError, SimulationConfig};
 use crate::exec::{run_grid, ParallelExecutor};

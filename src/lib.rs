@@ -11,7 +11,7 @@
 //! | [`cache`] | `sc-cache` | The paper's contribution: partial-caching allocation math, the IF/IB/PB/PB(e)/PB-V/IB-V replacement policies, the cache engine, and the offline optimal solvers. |
 //! | [`workload`] | `sc-workload` | GISMO-like synthetic workload generation (Zipf popularity, Poisson arrivals, lognormal durations). |
 //! | [`netmodel`] | `sc-netmodel` | Bandwidth models: NLANR-like base distribution, variability models, time series, TCP throughput, bandwidth estimators. |
-//! | [`sim`] | `sc-sim` | The simulator and the per-figure experiment drivers (`fig5` … `fig12`, `table1`). |
+//! | [`sim`] | `sc-sim` | The simulator and the per-figure experiment drivers (`fig5` … `fig13`, `table1`). |
 //! | [`proxy`] | `sc-proxy` | A runnable origin + caching proxy + measuring client prototype over TCP. |
 //!
 //! ## Quick start

@@ -11,7 +11,8 @@ use streamcache::sim::sweep::{
     sweep_cache_size_with, sweep_estimator_with, sweep_policies_with, sweep_zipf_alpha_with,
 };
 use streamcache::sim::{
-    run_comparison_with, run_replicated_with, Metrics, SimulationConfig, VariabilityKind,
+    run_comparison_with, run_replicated_with, BandwidthModel, EstimatorKind, Metrics,
+    SimulationConfig, VariabilityKind,
 };
 
 fn small(policy: PolicyKind, cache_fraction: f64) -> SimulationConfig {
@@ -158,6 +159,60 @@ fn estimator_and_zipf_sweeps_are_thread_count_invariant() {
     for ((xs, ms), (xp, mp)) in seq_z.unwrap().iter().zip(&par_z.unwrap()) {
         assert_eq!(xs, xp);
         assert_bit_identical(ms, mp, "zipf sweep");
+    }
+}
+
+#[test]
+fn ar1_mode_is_thread_count_invariant() {
+    // Time-varying bandwidth pre-generates one AR(1) series per path from
+    // the run seed; sharding across threads must not change a single bit,
+    // for the replicated entry point and for a flattened policy sweep.
+    let mut config = small(PolicyKind::PartialBandwidth, 0.05);
+    config.variability = VariabilityKind::MeasuredModerate;
+    config.bandwidth_model = BandwidthModel::ar1_default();
+    let seq = run_replicated_with(&config, 4, &sequential()).unwrap();
+    for threads in [4, 32] {
+        let par = run_replicated_with(
+            &config,
+            4,
+            &ParallelExecutor::new(ExecConfig::with_threads(threads)),
+        )
+        .unwrap();
+        assert_bit_identical(&seq, &par, &format!("ar1 replicated, {threads} threads"));
+    }
+
+    let base = SimulationConfig {
+        variability: VariabilityKind::NlanrLike,
+        bandwidth_model: BandwidthModel::ar1_default(),
+        ..SimulationConfig::small()
+    };
+    let policies = [PolicyKind::PartialBandwidth, PolicyKind::IntegralFrequency];
+    let fractions = [0.02, 0.05];
+    let seq = sweep_policies_with(&base, &policies, &fractions, 2, &sequential()).unwrap();
+    let par = sweep_policies_with(&base, &policies, &fractions, 2, &parallel()).unwrap();
+    for (s, p) in seq.iter().zip(&par) {
+        for (sp, pp) in s.points.iter().zip(&p.points) {
+            assert_bit_identical(&sp.metrics, &pp.metrics, &format!("ar1 sweep {}", s.label));
+        }
+    }
+}
+
+#[test]
+fn stateful_estimators_are_thread_count_invariant() {
+    // Estimator state lives inside each worker, so even history-dependent
+    // estimates cannot couple runs across threads.
+    for estimator in [
+        EstimatorKind::Ewma { alpha: 0.3 },
+        EstimatorKind::Windowed { window: 8 },
+        EstimatorKind::Probe,
+    ] {
+        let mut config = small(PolicyKind::PartialBandwidth, 0.05);
+        config.variability = VariabilityKind::MeasuredModerate;
+        config.bandwidth_model = BandwidthModel::ar1_default();
+        config.estimator = estimator;
+        let seq = run_replicated_with(&config, 3, &sequential()).unwrap();
+        let par = run_replicated_with(&config, 3, &parallel()).unwrap();
+        assert_bit_identical(&seq, &par, estimator.label());
     }
 }
 
