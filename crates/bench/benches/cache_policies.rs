@@ -58,10 +58,10 @@ fn bench_heap_operations(c: &mut Criterion) {
             b.iter(|| {
                 let mut heap = UtilityHeap::with_capacity(n);
                 for i in 0..n {
-                    heap.insert(ObjectKey::new(i as u64), (i % 997) as f64);
+                    heap.insert(i as u32, (i % 997) as f64);
                 }
                 for i in 0..n / 2 {
-                    heap.update(ObjectKey::new(i as u64), (i % 313) as f64 + 1_000.0);
+                    heap.update(i as u32, (i % 313) as f64 + 1_000.0);
                 }
                 let mut sum = 0.0;
                 while let Some((_, u)) = heap.pop_min() {
@@ -71,6 +71,35 @@ fn bench_heap_operations(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+/// Keyed vs slot-addressed access on the identical stream: the difference
+/// is exactly the per-access cost of the key→slot interning map.
+fn bench_slot_vs_keyed(c: &mut Criterion) {
+    let objects = 2_000u64;
+    let stream = access_stream(objects, 10_000, 7);
+    let mut group = c.benchmark_group("engine_addressing");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("keyed", |b| {
+        b.iter(|| {
+            let mut cache = CacheEngine::new(2e9, PolicyKind::PartialBandwidth.build()).unwrap();
+            for (meta, bandwidth) in &stream {
+                cache.on_access(meta, *bandwidth);
+            }
+            cache.stats().evictions
+        });
+    });
+    group.bench_function("slot", |b| {
+        b.iter(|| {
+            let mut cache = CacheEngine::new(2e9, PolicyKind::PartialBandwidth.build()).unwrap();
+            cache.ensure_slots(objects as usize);
+            for (meta, bandwidth) in &stream {
+                cache.on_access_slot(meta.key.as_u64() as u32, meta, *bandwidth);
+            }
+            cache.stats().evictions
+        });
+    });
     group.finish();
 }
 
@@ -95,6 +124,7 @@ criterion_group!(
     benches,
     bench_policy_access,
     bench_heap_operations,
+    bench_slot_vs_keyed,
     bench_eviction_pressure
 );
 criterion_main!(benches);

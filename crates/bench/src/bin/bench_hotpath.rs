@@ -1,0 +1,213 @@
+//! Hot-path benchmark: cache-core access throughput and end-to-end
+//! replicated-run throughput, emitted as `BENCH_hotpath.json` so the perf
+//! trajectory of `CacheEngine::on_access` is tracked across PRs.
+//!
+//! Run `cargo run --release -p sc_bench --bin bench_hotpath` for the full
+//! measurement, or `-- --smoke` for the reduced CI smoke mode. All
+//! benchmarks are single-threaded: the subject is the per-access cost of
+//! the cache core, not the executor's scaling (which
+//! `tests/exec_parallel_determinism.rs` and the figure bins cover).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_cache::policy::PolicyKind;
+use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+use sc_sim::exec::{SharedWorkload, SimWorker};
+use sc_sim::experiments::ExperimentScale;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured benchmark: how many cache accesses (or simulated requests)
+/// were processed and how long they took.
+struct BenchResult {
+    name: &'static str,
+    requests: u64,
+    wall_clock_secs: f64,
+}
+
+impl BenchResult {
+    fn requests_per_sec(&self) -> f64 {
+        if self.wall_clock_secs > 0.0 {
+            self.requests as f64 / self.wall_clock_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A deterministic synthetic access stream over a dense catalog:
+/// `(object index, bandwidth)` pairs plus one precomputed meta per object.
+/// The cache is sized far below the working set so the stream exercises
+/// admission, eviction and rollback, not just heap refreshes.
+struct Stream {
+    metas: Vec<ObjectMeta>,
+    accesses: Vec<(u32, f64)>,
+}
+
+fn make_stream(objects: u32, accesses: usize, seed: u64) -> Stream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metas = (0..objects)
+        .map(|i| {
+            let duration = 60.0 + (i % 50) as f64 * 30.0;
+            ObjectMeta::new(ObjectKey::new(i as u64), duration, 48_000.0, 5.0)
+        })
+        .collect();
+    let accesses = (0..accesses)
+        .map(|_| {
+            let index = rng.gen_range(0..objects);
+            let bandwidth = rng.gen_range(2_000.0..200_000.0);
+            (index, bandwidth)
+        })
+        .collect();
+    Stream { metas, accesses }
+}
+
+const CACHE_BYTES: f64 = 2e9;
+
+/// Runs `measure` `reps` times and keeps the fastest wall clock: best-of-N
+/// is robust against scheduler and frequency noise on shared machines,
+/// which dwarfs the per-access cost differences this bin tracks.
+fn best_of(reps: usize, mut measure: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1))
+        .map(|_| measure())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Drives the keyed [`CacheEngine::on_access`] entry point (one key→slot
+/// map lookup per access — the path callers without dense indices use).
+fn bench_keyed(stream: &Stream, reps: usize) -> BenchResult {
+    let wall = best_of(reps, || {
+        let mut cache =
+            CacheEngine::new(CACHE_BYTES, PolicyKind::PartialBandwidth.build()).unwrap();
+        let started = Instant::now();
+        for &(index, bandwidth) in &stream.accesses {
+            cache.on_access(&stream.metas[index as usize], bandwidth);
+        }
+        let wall = started.elapsed().as_secs_f64();
+        assert!(
+            cache.stats().evictions > 0,
+            "stream must evict to be a hot-path test"
+        );
+        wall
+    });
+    BenchResult {
+        name: "engine_access_keyed",
+        requests: stream.accesses.len() as u64,
+        wall_clock_secs: wall,
+    }
+}
+
+/// Drives the slot-addressed [`CacheEngine::on_access_slot`] entry point —
+/// the zero-hash, zero-allocation steady-state path the simulator uses.
+fn bench_slot(stream: &Stream, reps: usize) -> BenchResult {
+    let wall = best_of(reps, || {
+        let mut cache =
+            CacheEngine::new(CACHE_BYTES, PolicyKind::PartialBandwidth.build()).unwrap();
+        cache.ensure_slots(stream.metas.len());
+        let started = Instant::now();
+        for &(index, bandwidth) in &stream.accesses {
+            cache.on_access_slot(index, &stream.metas[index as usize], bandwidth);
+        }
+        let wall = started.elapsed().as_secs_f64();
+        assert!(
+            cache.stats().evictions > 0,
+            "stream must evict to be a hot-path test"
+        );
+        wall
+    });
+    BenchResult {
+        name: "engine_access_slot",
+        requests: stream.accesses.len() as u64,
+        wall_clock_secs: wall,
+    }
+}
+
+/// Single-thread replicated simulation runs at the paper's workload scale
+/// (5,000 objects, 100,000 requests per run) — the loop ROADMAP flags as
+/// the open perf item. Workload generation happens outside the timed
+/// region: the subject is the per-request simulation loop
+/// (bandwidth lookup → estimator → `on_access` → delivery → metrics), not
+/// the trace generator.
+fn bench_replicated(runs: usize, reps: usize) -> BenchResult {
+    let config = ExperimentScale::Paper
+        .base_config()
+        .with_cache_fraction(0.05);
+    let workers: Vec<SimWorker> = (0..runs as u64)
+        .map(|r| {
+            let seed = config.seed + r;
+            let workload = Arc::new(SharedWorkload::generate(&config.workload, seed).unwrap());
+            SimWorker::with_workload(config, seed, workload)
+        })
+        .collect();
+    let requests = (config.workload.trace.requests * runs) as u64;
+    let wall = best_of(reps, || {
+        let started = Instant::now();
+        for worker in &workers {
+            let result = worker.run().unwrap();
+            assert!(result.metrics.traffic_reduction_ratio > 0.0);
+        }
+        started.elapsed().as_secs_f64()
+    });
+    BenchResult {
+        name: "sim_loop_paper",
+        requests,
+        wall_clock_secs: wall,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (accesses, runs, reps) = if smoke {
+        (100_000, 1, 1)
+    } else {
+        (5_000_000, 5, 7)
+    };
+
+    let stream = make_stream(5_000, accesses, 7);
+    let results = [
+        bench_keyed(&stream, reps),
+        bench_slot(&stream, reps),
+        bench_replicated(runs, reps),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"id\": \"bench_hotpath\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"threads\": 1,");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        println!(
+            "{:<28} {:>10} req {:>10.3} s {:>14.0} req/s",
+            r.name,
+            r.requests,
+            r.wall_clock_secs,
+            r.requests_per_sec()
+        );
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"requests\": {}, \"wall_clock_secs\": {:.6}, \"requests_per_sec\": {:.1}}}",
+            r.name, r.requests, r.wall_clock_secs, r.requests_per_sec()
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // Full mode refreshes the checked-in baseline; smoke mode (CI) writes
+    // next to the figure JSON so it never clobbers the tracked trajectory.
+    let path = if smoke {
+        let _ = std::fs::create_dir_all("results");
+        "results/BENCH_hotpath_smoke.json"
+    } else {
+        "BENCH_hotpath.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

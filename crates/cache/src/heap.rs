@@ -2,33 +2,48 @@
 //!
 //! Section 2.4 of the paper notes that the replacement algorithm "can be
 //! implemented with a priority queue (heap) which uses the utility value as
-//! the key" with `O(log n)` per operation. This module provides that heap:
-//! a binary min-heap (the eviction victim is the minimum-utility object)
-//! with support for increasing or decreasing the key of an arbitrary entry.
+//! the key" with `O(log n)` per operation. This module provides that heap,
+//! addressed by **dense `u32` slot handles** rather than hashed object
+//! keys: the position of every handle is maintained in a flat `Vec`
+//! write-back table, so every operation — insert, update, remove, pop —
+//! touches only contiguous memory and performs no hashing. The
+//! [`CacheEngine`](crate::CacheEngine) allocates the handles (one per
+//! object slot) and owns the handle→key mapping.
+//!
+//! Determinism note: the heap's structure (and therefore which of several
+//! equal-utility entries pops first) is a pure function of the operation
+//! sequence — there is no hash-order or address-order dependence — which is
+//! what lets the simulator's golden-metrics tests pin results bit-for-bit.
 
-use crate::object::ObjectKey;
-use std::collections::HashMap;
+/// Sentinel position meaning "handle not present".
+const ABSENT: u32 = u32::MAX;
 
-/// A binary min-heap of `(ObjectKey, utility)` pairs with `O(log n)`
-/// insert / remove / update and `O(1)` minimum lookup.
+/// A binary min-heap of `(slot handle, utility)` pairs with `O(log n)`
+/// insert / remove / update / pop and `O(1)` minimum lookup and membership
+/// tests.
+///
+/// Handles are expected to be small dense integers (the engine's slot
+/// indices): the position table is a `Vec` indexed by handle and grows to
+/// the largest handle ever inserted.
 ///
 /// ```
-/// use sc_cache::{ObjectKey, UtilityHeap};
+/// use sc_cache::UtilityHeap;
 ///
 /// let mut heap = UtilityHeap::new();
-/// heap.insert(ObjectKey::new(1), 5.0);
-/// heap.insert(ObjectKey::new(2), 1.0);
-/// heap.insert(ObjectKey::new(3), 3.0);
-/// assert_eq!(heap.peek_min(), Some((ObjectKey::new(2), 1.0)));
-/// heap.update(ObjectKey::new(2), 10.0);
-/// assert_eq!(heap.peek_min(), Some((ObjectKey::new(3), 3.0)));
+/// heap.insert(1, 5.0);
+/// heap.insert(2, 1.0);
+/// heap.insert(3, 3.0);
+/// assert_eq!(heap.peek_min(), Some((2, 1.0)));
+/// heap.update(2, 10.0);
+/// assert_eq!(heap.peek_min(), Some((3, 3.0)));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct UtilityHeap {
-    /// Heap-ordered entries.
-    entries: Vec<(ObjectKey, f64)>,
-    /// Position of every key inside `entries`.
-    positions: HashMap<ObjectKey, usize>,
+    /// Heap-ordered `(handle, utility)` entries.
+    entries: Vec<(u32, f64)>,
+    /// Position of every handle inside `entries` (`ABSENT` when missing),
+    /// indexed by handle.
+    positions: Vec<u32>,
 }
 
 impl UtilityHeap {
@@ -36,40 +51,65 @@ impl UtilityHeap {
     pub fn new() -> Self {
         UtilityHeap {
             entries: Vec::new(),
-            positions: HashMap::new(),
+            positions: Vec::new(),
         }
     }
 
-    /// Creates an empty heap with pre-allocated capacity.
+    /// Creates an empty heap with pre-allocated capacity for `capacity`
+    /// entries and handles `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
         UtilityHeap {
             entries: Vec::with_capacity(capacity),
-            positions: HashMap::with_capacity(capacity),
+            positions: vec![ABSENT; capacity],
+        }
+    }
+
+    /// Grows the position table to cover handles `0..n` without inserting
+    /// anything, so subsequent operations on those handles never reallocate.
+    pub fn reserve_handles(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, ABSENT);
+        }
+        if self.entries.capacity() < n {
+            self.entries.reserve(n - self.entries.len());
         }
     }
 
     /// Number of entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Returns `true` if the heap holds no entries.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Returns `true` if `key` is present.
-    pub fn contains(&self, key: ObjectKey) -> bool {
-        self.positions.contains_key(&key)
+    #[inline]
+    fn position(&self, handle: u32) -> Option<usize> {
+        match self.positions.get(handle as usize) {
+            Some(&pos) if pos != ABSENT => Some(pos as usize),
+            _ => None,
+        }
     }
 
-    /// Returns the utility of `key`, if present.
-    pub fn utility(&self, key: ObjectKey) -> Option<f64> {
-        self.positions.get(&key).map(|&i| self.entries[i].1)
+    /// Returns `true` if `handle` is present.
+    #[inline]
+    pub fn contains(&self, handle: u32) -> bool {
+        self.position(handle).is_some()
+    }
+
+    /// Returns the utility of `handle`, if present.
+    #[inline]
+    pub fn utility(&self, handle: u32) -> Option<f64> {
+        self.position(handle).map(|i| self.entries[i].1)
     }
 
     /// The minimum-utility entry without removing it.
-    pub fn peek_min(&self) -> Option<(ObjectKey, f64)> {
+    #[inline]
+    pub fn peek_min(&self) -> Option<(u32, f64)> {
         self.entries.first().copied()
     }
 
@@ -78,15 +118,18 @@ impl UtilityHeap {
     /// # Panics
     ///
     /// Panics if `utility` is NaN.
-    pub fn insert(&mut self, key: ObjectKey, utility: f64) {
+    pub fn insert(&mut self, handle: u32, utility: f64) {
         assert!(!utility.is_nan(), "utility must not be NaN");
-        if self.positions.contains_key(&key) {
-            self.update(key, utility);
+        if self.positions.len() <= handle as usize {
+            self.positions.resize(handle as usize + 1, ABSENT);
+        }
+        if self.positions[handle as usize] != ABSENT {
+            self.update(handle, utility);
             return;
         }
-        self.entries.push((key, utility));
+        self.entries.push((handle, utility));
         let idx = self.entries.len() - 1;
-        self.positions.insert(key, idx);
+        self.positions[handle as usize] = idx as u32;
         self.sift_up(idx);
     }
 
@@ -95,11 +138,11 @@ impl UtilityHeap {
     /// # Panics
     ///
     /// Panics if `utility` is NaN.
-    pub fn update(&mut self, key: ObjectKey, utility: f64) {
+    pub fn update(&mut self, handle: u32, utility: f64) {
         assert!(!utility.is_nan(), "utility must not be NaN");
-        match self.positions.get(&key) {
-            None => self.insert(key, utility),
-            Some(&idx) => {
+        match self.position(handle) {
+            None => self.insert(handle, utility),
+            Some(idx) => {
                 let old = self.entries[idx].1;
                 self.entries[idx].1 = utility;
                 if utility < old {
@@ -111,26 +154,31 @@ impl UtilityHeap {
         }
     }
 
-    /// Removes and returns the minimum-utility entry.
-    pub fn pop_min(&mut self) -> Option<(ObjectKey, f64)> {
-        if self.entries.is_empty() {
-            return None;
+    /// Removes and returns the minimum-utility entry with a single
+    /// root-to-leaf sift.
+    pub fn pop_min(&mut self) -> Option<(u32, f64)> {
+        let min = *self.entries.first()?;
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        self.entries.pop();
+        self.positions[min.0 as usize] = ABSENT;
+        if !self.entries.is_empty() {
+            self.positions[self.entries[0].0 as usize] = 0;
+            self.sift_down(0);
         }
-        let min = self.entries[0];
-        self.remove(min.0);
         Some(min)
     }
 
     /// Removes an arbitrary entry. Returns its utility if it was present.
-    pub fn remove(&mut self, key: ObjectKey) -> Option<f64> {
-        let idx = *self.positions.get(&key)?;
+    pub fn remove(&mut self, handle: u32) -> Option<f64> {
+        let idx = self.position(handle)?;
         let removed_utility = self.entries[idx].1;
         let last = self.entries.len() - 1;
         self.entries.swap(idx, last);
         let moved = self.entries[idx].0;
-        self.positions.insert(moved, idx);
+        self.positions[moved as usize] = idx as u32;
         self.entries.pop();
-        self.positions.remove(&key);
+        self.positions[handle as usize] = ABSENT;
         if idx < self.entries.len() {
             self.sift_down(idx);
             self.sift_up(idx);
@@ -138,8 +186,17 @@ impl UtilityHeap {
         Some(removed_utility)
     }
 
+    /// Removes every entry, keeping the allocated capacity and the size of
+    /// the handle table.
+    pub fn clear(&mut self) {
+        for &(handle, _) in &self.entries {
+            self.positions[handle as usize] = ABSENT;
+        }
+        self.entries.clear();
+    }
+
     /// Iterates over all entries in unspecified (heap) order.
-    pub fn iter(&self) -> impl Iterator<Item = (ObjectKey, f64)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.entries.iter().copied()
     }
 
@@ -174,14 +231,15 @@ impl UtilityHeap {
         }
     }
 
+    #[inline]
     fn swap(&mut self, a: usize, b: usize) {
         self.entries.swap(a, b);
-        self.positions.insert(self.entries[a].0, a);
-        self.positions.insert(self.entries[b].0, b);
+        self.positions[self.entries[a].0 as usize] = a as u32;
+        self.positions[self.entries[b].0 as usize] = b as u32;
     }
 
     /// Checks the internal heap invariant (every parent's utility is at most
-    /// its children's) and the consistency of the key→position index.
+    /// its children's) and the consistency of the handle→position table.
     ///
     /// Always true for a correctly behaving heap; exposed so invariant and
     /// property tests can verify the structure after arbitrary operation
@@ -193,11 +251,13 @@ impl UtilityHeap {
                 return false;
             }
         }
-        self.positions.len() == self.entries.len()
+        let present = self.positions.iter().filter(|&&pos| pos != ABSENT).count();
+        present == self.entries.len()
             && self
-                .positions
+                .entries
                 .iter()
-                .all(|(k, &i)| i < self.entries.len() && self.entries[i].0 == *k)
+                .enumerate()
+                .all(|(i, &(handle, _))| self.positions.get(handle as usize) == Some(&(i as u32)))
     }
 }
 
@@ -205,15 +265,11 @@ impl UtilityHeap {
 mod tests {
     use super::*;
 
-    fn key(i: u64) -> ObjectKey {
-        ObjectKey::new(i)
-    }
-
     #[test]
     fn insert_and_pop_in_order() {
         let mut h = UtilityHeap::new();
         for (i, u) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
-            h.insert(key(i as u64), *u);
+            h.insert(i as u32, *u);
         }
         assert_eq!(h.len(), 5);
         assert!(h.validate());
@@ -228,44 +284,46 @@ mod tests {
     #[test]
     fn update_moves_entries() {
         let mut h = UtilityHeap::new();
-        h.insert(key(1), 1.0);
-        h.insert(key(2), 2.0);
-        h.insert(key(3), 3.0);
-        h.update(key(1), 10.0);
-        assert_eq!(h.peek_min().unwrap().0, key(2));
-        h.update(key(3), 0.5);
-        assert_eq!(h.peek_min().unwrap().0, key(3));
+        h.insert(1, 1.0);
+        h.insert(2, 2.0);
+        h.insert(3, 3.0);
+        h.update(1, 10.0);
+        assert_eq!(h.peek_min().unwrap().0, 2);
+        h.update(3, 0.5);
+        assert_eq!(h.peek_min().unwrap().0, 3);
         assert!(h.validate());
-        assert_eq!(h.utility(key(1)), Some(10.0));
+        assert_eq!(h.utility(1), Some(10.0));
     }
 
     #[test]
-    fn insert_existing_key_updates() {
+    fn insert_existing_handle_updates() {
         let mut h = UtilityHeap::new();
-        h.insert(key(1), 5.0);
-        h.insert(key(1), 2.0);
+        h.insert(1, 5.0);
+        h.insert(1, 2.0);
         assert_eq!(h.len(), 1);
-        assert_eq!(h.utility(key(1)), Some(2.0));
+        assert_eq!(h.utility(1), Some(2.0));
     }
 
     #[test]
-    fn update_missing_key_inserts() {
+    fn update_missing_handle_inserts() {
         let mut h = UtilityHeap::new();
-        h.update(key(7), 1.5);
-        assert!(h.contains(key(7)));
+        h.update(7, 1.5);
+        assert!(h.contains(7));
+        assert!(!h.contains(6));
+        assert_eq!(h.utility(6), None);
     }
 
     #[test]
     fn remove_arbitrary_entries() {
         let mut h = UtilityHeap::new();
         for i in 0..20 {
-            h.insert(key(i), (20 - i) as f64);
+            h.insert(i, (20 - i) as f64);
         }
-        assert_eq!(h.remove(key(5)), Some(15.0));
-        assert_eq!(h.remove(key(5)), None);
+        assert_eq!(h.remove(5), Some(15.0));
+        assert_eq!(h.remove(5), None);
         assert_eq!(h.len(), 19);
         assert!(h.validate());
-        assert!(!h.contains(key(5)));
+        assert!(!h.contains(5));
         // Remaining entries still pop in sorted order.
         let mut prev = f64::NEG_INFINITY;
         while let Some((_, u)) = h.pop_min() {
@@ -278,27 +336,53 @@ mod tests {
     fn remove_last_and_empty_pop() {
         let mut h = UtilityHeap::new();
         assert_eq!(h.pop_min(), None);
-        h.insert(key(1), 1.0);
-        assert_eq!(h.remove(key(1)), Some(1.0));
+        h.insert(1, 1.0);
+        assert_eq!(h.remove(1), Some(1.0));
         assert!(h.is_empty());
         assert!(h.validate());
+    }
+
+    #[test]
+    fn clear_keeps_handle_table_consistent() {
+        let mut h = UtilityHeap::with_capacity(8);
+        for i in 0..8 {
+            h.insert(i, i as f64);
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.validate());
+        assert!(!h.contains(3));
+        h.insert(3, 1.0);
+        assert_eq!(h.peek_min(), Some((3, 1.0)));
     }
 
     #[test]
     #[should_panic(expected = "NaN")]
     fn nan_utility_panics() {
         let mut h = UtilityHeap::new();
-        h.insert(key(1), f64::NAN);
+        h.insert(1, f64::NAN);
     }
 
     #[test]
-    fn iter_and_with_capacity() {
+    fn iter_with_capacity_and_sparse_handles() {
         let mut h = UtilityHeap::with_capacity(4);
-        h.insert(key(1), 1.0);
-        h.insert(key(2), 2.0);
+        h.insert(1, 1.0);
+        // A handle far beyond the reserved range grows the table safely.
+        h.insert(1_000_000, 2.0);
         let mut items: Vec<_> = h.iter().collect();
         items.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        assert_eq!(items, vec![(key(1), 1.0), (key(2), 2.0)]);
+        assert_eq!(items, vec![(1, 1.0), (1_000_000, 2.0)]);
+        assert!(h.validate());
+    }
+
+    #[test]
+    fn reserve_handles_is_idempotent() {
+        let mut h = UtilityHeap::new();
+        h.reserve_handles(100);
+        h.reserve_handles(10);
+        h.insert(99, 1.0);
+        assert!(h.contains(99));
+        assert!(h.validate());
     }
 
     #[test]
@@ -313,12 +397,12 @@ mod tests {
         };
         let mut h = UtilityHeap::new();
         for _ in 0..2_000 {
-            let k = key(next() % 100);
+            let handle = (next() % 100) as u32;
             match next() % 3 {
-                0 => h.insert(k, (next() % 1_000) as f64),
-                1 => h.update(k, (next() % 1_000) as f64),
+                0 => h.insert(handle, (next() % 1_000) as f64),
+                1 => h.update(handle, (next() % 1_000) as f64),
                 _ => {
-                    h.remove(k);
+                    h.remove(handle);
                 }
             }
             debug_assert!(h.validate());

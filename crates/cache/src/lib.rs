@@ -20,7 +20,11 @@
 //!   as [`policy::UtilityPolicy`] implementations.
 //! * [`CacheEngine`] — the online replacement engine of Section 2.4:
 //!   frequency estimation, a utility [`UtilityHeap`], admission and
-//!   eviction.
+//!   eviction. Per-object state lives in a dense slab addressed by `u32`
+//!   slot handles, so the steady-state access path is hash-free and
+//!   allocation-free (see `ARCHITECTURE.md`, "Hot path & performance").
+//! * [`fx`] — the hand-rolled Fx-style hasher behind the engine's thin
+//!   key→slot interning map.
 //! * Offline solvers — [`optimal_partial_allocation`] (the fractional
 //!   knapsack optimum of Section 2.3), [`greedy_value_selection`] and
 //!   [`exact_value_selection`] (the value-based knapsack of Section 2.6).
@@ -58,6 +62,7 @@
 mod alloc;
 mod engine;
 mod error;
+pub mod fx;
 mod heap;
 mod object;
 mod optimal;

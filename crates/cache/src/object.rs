@@ -11,11 +11,13 @@ pub struct ObjectKey(pub u64);
 
 impl ObjectKey {
     /// Creates a key from a raw integer.
+    #[inline]
     pub fn new(raw: u64) -> Self {
         ObjectKey(raw)
     }
 
     /// The raw integer value.
+    #[inline]
     pub fn as_u64(self) -> u64 {
         self.0
     }
@@ -80,6 +82,7 @@ impl ObjectMeta {
     }
 
     /// Total size `T_i · r_i` in bytes.
+    #[inline]
     pub fn size_bytes(&self) -> f64 {
         self.duration_secs * self.bitrate_bps
     }

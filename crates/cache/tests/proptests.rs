@@ -107,7 +107,7 @@ fn heap_pops_sorted() {
         let n = rng.gen_range(1..200usize);
         let mut heap = UtilityHeap::new();
         for i in 0..n {
-            heap.insert(ObjectKey::new(i as u64), rng.gen_range(0.0..1e9));
+            heap.insert(i as u32, rng.gen_range(0.0..1e9));
         }
         assert!(heap.validate());
         let mut prev = f64::NEG_INFINITY;
@@ -125,30 +125,30 @@ fn heap_pops_sorted() {
 fn heap_invariant_under_mixed_operations() {
     let mut rng = StdRng::seed_from_u64(0xB1476);
     let mut heap = UtilityHeap::new();
-    let mut model: HashMap<ObjectKey, f64> = HashMap::new();
+    let mut model: HashMap<u32, f64> = HashMap::new();
     for step in 0..20_000 {
-        let key = ObjectKey::new(rng.gen_range(0..150u64));
+        let handle = rng.gen_range(0..150u32);
         match rng.gen_range(0..4u32) {
             0 => {
                 let u = rng.gen_range(0.0..1e6);
-                heap.insert(key, u);
-                model.insert(key, u);
+                heap.insert(handle, u);
+                model.insert(handle, u);
             }
             1 => {
                 let u = rng.gen_range(0.0..1e6);
-                heap.update(key, u);
-                model.insert(key, u);
+                heap.update(handle, u);
+                model.insert(handle, u);
             }
             2 => {
-                let removed = heap.remove(key);
-                assert_eq!(removed, model.remove(&key), "remove disagreed at {step}");
+                let removed = heap.remove(handle);
+                assert_eq!(removed, model.remove(&handle), "remove disagreed at {step}");
             }
             _ => match heap.pop_min() {
                 None => assert!(model.is_empty()),
-                Some((k, u)) => {
+                Some((h, u)) => {
                     let model_min = model.values().cloned().fold(f64::INFINITY, f64::min);
                     assert_eq!(u, model_min, "pop_min not minimal at {step}");
-                    assert_eq!(model.remove(&k), Some(u));
+                    assert_eq!(model.remove(&h), Some(u));
                 }
             },
         }
@@ -160,8 +160,8 @@ fn heap_invariant_under_mixed_operations() {
         }
         if step % 64 == 0 {
             assert!(heap.validate(), "heap invariant broken at step {step}");
-            for (k, u) in model.iter() {
-                assert_eq!(heap.utility(*k), Some(*u));
+            for (h, u) in model.iter() {
+                assert_eq!(heap.utility(*h), Some(*u));
             }
         }
     }

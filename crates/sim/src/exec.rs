@@ -90,15 +90,32 @@ impl Default for ExecConfig {
 
 /// A workload generated once and shared (via [`Arc`]) by every run that
 /// needs the identical catalog and request stream.
+///
+/// The catalog's [`ObjectMeta`] table is precomputed here, once per
+/// workload, so the simulation loop indexes metadata instead of
+/// reconstructing an `ObjectMeta` from the catalog on every request — and
+/// paired policy comparisons sharing a workload share the table too.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SharedWorkload {
     /// The object catalog.
     pub catalog: Catalog,
     /// The request trace.
     pub trace: RequestTrace,
+    /// Cache-side metadata of catalog object `i` at index `i`.
+    metas: Vec<ObjectMeta>,
 }
 
 impl SharedWorkload {
+    /// Bundles a catalog and trace, precomputing the meta table.
+    pub fn new(catalog: Catalog, trace: RequestTrace) -> Self {
+        let metas = meta_table(&catalog);
+        SharedWorkload {
+            catalog,
+            trace,
+            metas,
+        }
+    }
+
     /// Generates the workload described by `config` under `seed`
     /// (overriding the configuration's own seed, as replicated runs do).
     ///
@@ -111,10 +128,12 @@ impl SharedWorkload {
         let workload = wl_config
             .generate()
             .map_err(|e| SimError::Workload(e.to_string()))?;
-        Ok(SharedWorkload {
-            catalog: workload.catalog,
-            trace: workload.trace,
-        })
+        Ok(Self::new(workload.catalog, workload.trace))
+    }
+
+    /// The precomputed per-object metadata, indexed by catalog index.
+    pub fn metas(&self) -> &[ObjectMeta] {
+        &self.metas
     }
 }
 
@@ -126,6 +145,12 @@ pub(crate) fn to_meta(obj: &MediaObject) -> ObjectMeta {
         obj.bitrate_bps,
         obj.value,
     )
+}
+
+/// Precomputes the cache-side metadata of every catalog object, indexed by
+/// the object's dense catalog index (== its cache slot handle).
+pub(crate) fn meta_table(catalog: &Catalog) -> Vec<ObjectMeta> {
+    catalog.iter().map(to_meta).collect()
 }
 
 /// The self-contained body of one simulation run: a configuration, a run
@@ -186,13 +211,18 @@ impl SimWorker {
         let config = &self.config;
         config.validate()?;
         let generated;
-        let (catalog, trace) = match &self.workload {
-            Some(shared) => (&shared.catalog, &shared.trace),
+        let shared = match &self.workload {
+            Some(shared) => shared.as_ref(),
             None => {
                 generated = SharedWorkload::generate(&config.workload, self.seed)?;
-                (&generated.catalog, &generated.trace)
+                &generated
             }
         };
+        let (catalog, trace) = (&shared.catalog, &shared.trace);
+        // Metadata is precomputed per catalog: the request loop below
+        // indexes this table instead of rebuilding an ObjectMeta per
+        // request.
+        let metas = shared.metas();
 
         // Bandwidth state and the per-request variability stream use a seed
         // derived from the run seed but decoupled from workload generation.
@@ -212,14 +242,16 @@ impl SimWorker {
 
         let mut cache = CacheEngine::new(config.cache_size_bytes, config.policy.build())
             .map_err(|e| SimError::Workload(e.to_string()))?;
+        // Catalog ids are dense, so the engine's slab can be slot-addressed
+        // by catalog index: the per-request path below performs no hashing.
+        cache.ensure_slots(catalog.len());
 
         let warmup_len = ((trace.len() as f64) * config.warmup_fraction).round() as usize;
         let mut collector = MetricsCollector::new();
 
         for (i, request) in trace.iter().enumerate() {
-            let obj = catalog.object(request.object);
-            let meta = to_meta(obj);
-            let index = obj.id.index();
+            let index = request.object.index();
+            let meta = &metas[index];
             let oracle = provider.estimated_bps(index);
             let instantaneous = provider.request_bps(index, request.time_secs, &mut bw_rng);
 
@@ -227,10 +259,10 @@ impl SimWorker {
             // the path; the actual transfer experiences the instantaneous
             // bandwidth at the request's arrival time.
             let estimated = estimators.decision_bps(index, oracle, instantaneous);
-            let outcome = cache.on_access(&meta, estimated);
+            let outcome = cache.on_access_slot(index as u32, meta, estimated);
 
             if i >= warmup_len {
-                let delivery = deliver(&meta, outcome.cached_bytes_before, instantaneous);
+                let delivery = deliver(meta, outcome.cached_bytes_before, instantaneous);
                 collector.record(&delivery);
             }
 

@@ -156,6 +156,7 @@ impl Catalog {
     /// # Panics
     ///
     /// Panics if the id is not part of this catalog.
+    #[inline]
     pub fn object(&self, id: ObjectId) -> &MediaObject {
         &self.objects[id.index()]
     }

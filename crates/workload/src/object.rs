@@ -19,16 +19,22 @@ pub struct ObjectId(u32);
 
 impl ObjectId {
     /// Creates an object id from a dense catalog index.
+    #[inline]
     pub fn new(index: u32) -> Self {
         ObjectId(index)
     }
 
     /// Returns the dense catalog index of this object.
+    ///
+    /// Ids are dense by construction, so this doubles as the object's slot
+    /// handle in slot-addressed consumers (`sc_cache`'s slab engine).
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
 
     /// Returns the raw `u32` value.
+    #[inline]
     pub fn as_u32(self) -> u32 {
         self.0
     }
@@ -93,6 +99,7 @@ impl MediaObject {
     }
 
     /// Total object size in bytes (`T_i · r_i`).
+    #[inline]
     pub fn size_bytes(&self) -> f64 {
         self.duration_secs * self.bitrate_bps
     }
