@@ -29,6 +29,24 @@ pub struct AccessOutcome {
     pub admitted: bool,
 }
 
+/// One allocation change on the slab, recorded in the engine's delta log
+/// (see [`CacheEngine::set_delta_tracking`]).
+///
+/// `new_bytes` is the slot's allocation *after* the change: `0.0` records an
+/// eviction, anything else an admission or allocation change. Applying the
+/// drained deltas in order to any mirror of the cache contents (for example
+/// the proxy's byte store) reproduces [`CacheEngine::contents`] exactly,
+/// in O(changes) instead of O(cache size) per access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheDelta {
+    /// Slab slot handle of the changed object.
+    pub slot: u32,
+    /// The object's cache key.
+    pub key: ObjectKey,
+    /// The object's allocation in bytes after the change (0 = evicted).
+    pub new_bytes: f64,
+}
+
 /// Per-object state, stored in one contiguous slab indexed by slot handle.
 ///
 /// `cached_bytes > 0` if and only if the slot is in the utility heap: the
@@ -91,6 +109,11 @@ pub struct CacheEngine<P> {
     /// `(slot, cached bytes, utility)` of each popped candidate, kept until
     /// the admission decision commits or rolls the pops back.
     scratch: Vec<(u32, f64, f64)>,
+    /// Allocation-change log, appended to only when `track_deltas` is set
+    /// (one predicted-not-taken branch on the default path, so callers that
+    /// never drain — the simulator — pay nothing).
+    deltas: Vec<CacheDelta>,
+    track_deltas: bool,
     clock: u64,
     stats: CacheStats,
 }
@@ -114,6 +137,8 @@ impl<P: UtilityPolicy> CacheEngine<P> {
             key_to_slot: FxHashMap::default(),
             heap: UtilityHeap::new(),
             scratch: Vec::new(),
+            deltas: Vec::new(),
+            track_deltas: false,
             clock: 0,
             stats: CacheStats::default(),
         })
@@ -158,6 +183,35 @@ impl<P: UtilityPolicy> CacheEngine<P> {
     /// (used at the warm-up/measurement boundary).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Enables or disables the allocation-change delta log.
+    ///
+    /// While enabled, every committed allocation change (admission growth,
+    /// eviction, [`clear`](Self::clear)) appends a [`CacheDelta`]; rolled-back
+    /// eviction attempts restore the pre-access state exactly and therefore
+    /// record nothing. Callers drain the log with
+    /// [`drain_deltas`](Self::drain_deltas) after each access and apply the
+    /// entries to whatever mirrors the cache contents — O(changes) per
+    /// access instead of rescanning [`contents`](Self::contents). Switching
+    /// tracking on or off clears any pending entries. Off by default, so the
+    /// simulator's hot loop pays only a never-taken branch.
+    pub fn set_delta_tracking(&mut self, enabled: bool) {
+        self.track_deltas = enabled;
+        self.deltas.clear();
+    }
+
+    /// Whether the delta log is currently recording.
+    pub fn delta_tracking(&self) -> bool {
+        self.track_deltas
+    }
+
+    /// Drains the pending allocation-change log in commit order.
+    ///
+    /// The drained buffer's capacity is retained, so a caller that drains
+    /// after every access keeps the steady state allocation-free.
+    pub fn drain_deltas(&mut self) -> std::vec::Drain<'_, CacheDelta> {
+        self.deltas.drain(..)
     }
 
     /// Pre-sizes the slab so that slot handle `i` denotes
@@ -259,11 +313,18 @@ impl<P: UtilityPolicy> CacheEngine<P> {
     /// Frequencies and statistics are preserved.
     pub fn clear(&mut self) -> usize {
         let n = self.heap.len();
-        for slot in &mut self.slots {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
             if slot.cached_bytes > 0.0 {
                 self.stats.evictions += 1;
                 self.stats.bytes_evicted += slot.cached_bytes;
                 slot.cached_bytes = 0.0;
+                if self.track_deltas {
+                    self.deltas.push(CacheDelta {
+                        slot: i as u32,
+                        key: slot.key,
+                        new_bytes: 0.0,
+                    });
+                }
             }
         }
         self.heap.clear();
@@ -419,6 +480,13 @@ impl<P: UtilityPolicy> CacheEngine<P> {
                 self.slots[victim as usize].cached_bytes = 0.0;
                 self.stats.evictions += 1;
                 self.stats.bytes_evicted += bytes;
+                if self.track_deltas {
+                    self.deltas.push(CacheDelta {
+                        slot: victim,
+                        key: self.slots[victim as usize].key,
+                        new_bytes: 0.0,
+                    });
+                }
             }
             let evicted = self.scratch.len();
             self.slots[slot as usize].cached_bytes = grant;
@@ -428,6 +496,13 @@ impl<P: UtilityPolicy> CacheEngine<P> {
             if grew {
                 self.stats.admissions += 1;
                 self.stats.bytes_admitted += grant - cached_before;
+            }
+            if self.track_deltas && grant != cached_before {
+                self.deltas.push(CacheDelta {
+                    slot,
+                    key: self.slots[slot as usize].key,
+                    new_bytes: grant,
+                });
             }
             debug_assert!(self.used_bytes <= self.capacity_bytes + 1e-6);
             (grant, evicted, grew)
@@ -847,6 +922,77 @@ mod tests {
         assert!(!cache.contains(big.key));
         assert_eq!(cache.used_bytes().to_bits(), used_before.to_bits());
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    // --- delta log ---
+
+    #[test]
+    fn delta_log_is_off_by_default_and_empty_when_off() {
+        let mut cache = CacheEngine::new(1e9, PartialBandwidth::new()).unwrap();
+        assert!(!cache.delta_tracking());
+        cache.on_access(&obj(1, 100.0), R / 2.0);
+        assert_eq!(cache.drain_deltas().count(), 0);
+    }
+
+    #[test]
+    fn delta_log_records_admission_and_eviction() {
+        let size = obj(1, 100.0).size_bytes();
+        let mut cache = CacheEngine::new(size, IntegralBandwidth::new()).unwrap();
+        cache.set_delta_tracking(true);
+
+        let a = obj(1, 100.0);
+        cache.on_access(&a, R / 2.0);
+        let deltas: Vec<CacheDelta> = cache.drain_deltas().collect();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].key, a.key);
+        assert_eq!(deltas[0].new_bytes, size);
+
+        // A higher-utility object displaces `a`: one eviction delta (to 0)
+        // followed by the admission delta, in commit order.
+        let b = obj(2, 100.0);
+        cache.on_access(&b, R / 10.0);
+        cache.on_access(&b, R / 10.0);
+        let deltas: Vec<CacheDelta> = cache.drain_deltas().collect();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].key, a.key);
+        assert_eq!(deltas[0].new_bytes, 0.0);
+        assert_eq!(deltas[1].key, b.key);
+        assert_eq!(deltas[1].new_bytes, size);
+    }
+
+    #[test]
+    fn delta_log_is_silent_on_rollback_and_refresh() {
+        let small = obj(1, 50.0);
+        let big = obj(2, 200.0);
+        let mut cache = CacheEngine::new(small.size_bytes(), IntegralBandwidth::new()).unwrap();
+        cache.set_delta_tracking(true);
+        cache.on_access(&small, R / 2.0);
+        cache.drain_deltas().count();
+        // Rollback: big pops small as a victim but cannot fit; state is
+        // restored exactly, so no delta may be recorded.
+        cache.on_access(&big, R / 10.0);
+        cache.on_access(&big, R / 10.0);
+        assert_eq!(cache.drain_deltas().count(), 0);
+        // Refresh (target <= cached): no allocation change, no delta.
+        cache.on_access(&small, R / 2.0);
+        assert_eq!(cache.drain_deltas().count(), 0);
+    }
+
+    #[test]
+    fn delta_log_records_clear_and_toggling_clears_pending() {
+        let mut cache = CacheEngine::new(1e9, IntegralFrequency::new()).unwrap();
+        cache.set_delta_tracking(true);
+        cache.on_access(&obj(1, 100.0), R);
+        cache.on_access(&obj(2, 100.0), R);
+        cache.drain_deltas().count();
+        cache.clear();
+        let deltas: Vec<CacheDelta> = cache.drain_deltas().collect();
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| d.new_bytes == 0.0));
+
+        cache.on_access(&obj(3, 100.0), R);
+        cache.set_delta_tracking(false);
+        assert_eq!(cache.drain_deltas().count(), 0);
     }
 
     #[test]

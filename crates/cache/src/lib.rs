@@ -72,7 +72,7 @@ mod stats;
 pub use alloc::{
     conservative_prefix_bytes, prefix_bytes_needed, service_delay_secs, stream_quality,
 };
-pub use engine::{AccessOutcome, CacheEngine};
+pub use engine::{AccessOutcome, CacheDelta, CacheEngine};
 pub use error::CacheError;
 pub use heap::UtilityHeap;
 pub use object::{ObjectKey, ObjectMeta};

@@ -1,0 +1,116 @@
+//! Oracle equivalence for the engine's allocation-change delta log.
+//!
+//! A shadow map applies only the drained [`CacheDelta`] entries after every
+//! access; the oracle rebuilds the same view from a full
+//! [`CacheEngine::contents`] scan (the reconciliation strategy the proxy
+//! used before the delta log existed). The two must agree bitwise at every
+//! step, across policies with partial admission, integral admission and
+//! rollback paths, and across `clear()`. This is the contract that lets
+//! `handle_client` reconcile its byte store in O(changes) per request.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_cache::policy::PolicyKind;
+use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+use std::collections::BTreeMap;
+
+fn meta(key: u64, duration: f64) -> ObjectMeta {
+    ObjectMeta::new(ObjectKey::new(key), duration, 48_000.0, 1.0)
+}
+
+/// Drives a randomized access stream through an engine with delta tracking
+/// enabled, maintaining a shadow `key → bytes` map purely from drained
+/// deltas, and asserts it equals the full-`contents()` oracle after every
+/// access.
+fn check_policy(kind: PolicyKind, seed: u64, capacity_objects: f64, accesses: usize) {
+    let size = meta(0, 100.0).size_bytes();
+    let mut engine = CacheEngine::new(capacity_objects * size, kind.build()).unwrap();
+    engine.set_delta_tracking(true);
+    let mut shadow: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for step in 0..accesses {
+        let key = rng.gen_range(0..40u64);
+        let duration = 30.0 + rng.gen_range(0.0..200.0);
+        let bandwidth = rng.gen_range(2_000.0..120_000.0);
+        let m = meta(key, duration);
+        engine.on_access(&m, bandwidth);
+
+        for delta in engine.drain_deltas() {
+            if delta.new_bytes == 0.0 {
+                shadow.remove(&delta.key.as_u64());
+            } else {
+                shadow.insert(delta.key.as_u64(), delta.new_bytes);
+            }
+        }
+
+        // Occasionally wipe the cache to exercise the clear() deltas too.
+        if step % 977 == 976 {
+            engine.clear();
+            for delta in engine.drain_deltas() {
+                assert_eq!(delta.new_bytes, 0.0, "clear must evict, not resize");
+                shadow.remove(&delta.key.as_u64());
+            }
+        }
+
+        let oracle: BTreeMap<u64, f64> = engine
+            .contents()
+            .into_iter()
+            .map(|(k, b)| (k.as_u64(), b))
+            .collect();
+        assert_eq!(
+            shadow.len(),
+            oracle.len(),
+            "{kind:?} seed {seed} step {step}: entry count diverged"
+        );
+        for (k, bytes) in &oracle {
+            let mirrored = shadow.get(k).unwrap_or_else(|| {
+                panic!("{kind:?} seed {seed} step {step}: key {k} missing from delta mirror")
+            });
+            assert_eq!(
+                mirrored.to_bits(),
+                bytes.to_bits(),
+                "{kind:?} seed {seed} step {step}: key {k} bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_mirror_matches_full_scan_oracle_partial_policies() {
+    for seed in 0..4 {
+        check_policy(PolicyKind::PartialBandwidth, seed, 5.0, 3_000);
+        check_policy(
+            PolicyKind::HybridPartialBandwidth { e: 0.5 },
+            seed,
+            4.0,
+            2_000,
+        );
+    }
+}
+
+#[test]
+fn delta_mirror_matches_full_scan_oracle_integral_policies() {
+    // Integral policies take the rollback path often under tight capacity;
+    // rollbacks must leave both the log and the mirror untouched.
+    for seed in 0..4 {
+        check_policy(PolicyKind::IntegralBandwidth, seed, 3.0, 3_000);
+        check_policy(PolicyKind::IntegralFrequency, seed, 3.0, 2_000);
+        check_policy(PolicyKind::Lru, seed, 3.0, 2_000);
+    }
+}
+
+#[test]
+fn drained_log_is_reusable_without_reallocation_pressure() {
+    // Draining after every access keeps the log short; the engine never
+    // accumulates unbounded history.
+    let mut engine = CacheEngine::new(1e9, PolicyKind::PartialBandwidth.build()).unwrap();
+    engine.set_delta_tracking(true);
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..1_000 {
+        let m = meta(rng.gen_range(0..20u64), 100.0);
+        engine.on_access(&m, rng.gen_range(2_000.0..120_000.0));
+        let n = engine.drain_deltas().count();
+        assert!(n <= 21, "one access touches at most the victims + itself");
+    }
+}

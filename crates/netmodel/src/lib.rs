@@ -65,5 +65,5 @@ pub use nlanr::{NlanrBandwidthModel, BYTES_PER_KB};
 pub use paths::{PathId, PathModel, PathSet};
 pub use stats::Summary;
 pub use tcp::{tcp_throughput_bps, tcp_throughput_simplified_bps, TcpPathParams};
-pub use timeseries::{BandwidthTimeSeries, TimeSeriesConfig};
+pub use timeseries::{BandwidthTimeSeries, MarginalDistribution, TimeSeriesConfig};
 pub use variability::VariabilityModel;

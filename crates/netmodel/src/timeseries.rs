@@ -10,6 +10,27 @@
 use crate::error::NetModelError;
 use rand::Rng;
 
+/// Marginal distribution of the AR(1) bandwidth process.
+///
+/// The normal marginal matches the historical behaviour, but for
+/// high-variability paths (CoV near 1, like the NLANR-derived models) a
+/// normal with `σ ≈ μ` puts substantial mass below zero; clamping that mass
+/// at the floor both biases the mean upward and produces long stretches
+/// pinned at the floor, inflating simulated delay tails. The lognormal
+/// marginal is strictly positive by construction, so high-CoV paths keep
+/// their target mean and CoV without clamp artefacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarginalDistribution {
+    /// AR(1) in the bandwidth domain with normal innovations (the default,
+    /// matching the paper-era behaviour).
+    #[default]
+    Normal,
+    /// AR(1) in the log-bandwidth domain: the marginal is lognormal with
+    /// the configured mean and CoV, and samples are strictly positive
+    /// before any clamping.
+    LogNormal,
+}
+
 /// Configuration of an AR(1) mean-reverting bandwidth process.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeSeriesConfig {
@@ -29,6 +50,10 @@ pub struct TimeSeriesConfig {
     /// Upper bound on every sample, as a fraction of `mean_bps` — the
     /// path's physical capacity. Defaults to [`f64::INFINITY`] (no ceiling).
     pub ceiling_ratio: f64,
+    /// Marginal distribution of the process
+    /// ([`MarginalDistribution::Normal`] by default; use
+    /// [`MarginalDistribution::LogNormal`] for high-CoV paths).
+    pub marginal: MarginalDistribution,
 }
 
 impl Default for TimeSeriesConfig {
@@ -40,6 +65,7 @@ impl Default for TimeSeriesConfig {
             interval_secs: 240.0,
             floor_ratio: 1e-3,
             ceiling_ratio: f64::INFINITY,
+            marginal: MarginalDistribution::default(),
         }
     }
 }
@@ -96,11 +122,21 @@ pub struct BandwidthTimeSeries {
 impl BandwidthTimeSeries {
     /// Generates `n` samples of a mean-reverting bandwidth process.
     ///
-    /// The process is an AR(1) in the bandwidth domain,
+    /// With the default [`MarginalDistribution::Normal`] the process is an
+    /// AR(1) in the bandwidth domain,
     /// `x_{t+1} = mean + rho (x_t - mean) + eps`, with innovations scaled so
     /// the marginal standard deviation equals `cov * mean`; every sample
     /// (and the process state itself) is clamped into
     /// `[mean * floor_ratio, mean * ceiling_ratio]`.
+    ///
+    /// With [`MarginalDistribution::LogNormal`] the AR(1) runs in the
+    /// log-bandwidth domain, `y_{t+1} = mu + rho (y_t - mu) + eps`, with
+    /// `mu` and the marginal log-variance chosen so `exp(y)` has exactly
+    /// the configured mean and CoV. Samples are strictly positive before
+    /// clamping, so high-CoV paths do not pile up on the floor (the clamp
+    /// artefact the normal marginal suffers when `cov` approaches 1). The
+    /// sample autocorrelation is `(e^{rho s²} − 1)/(e^{s²} − 1) ≈ rho` for
+    /// moderate log-variance `s²`.
     ///
     /// ```
     /// use sc_netmodel::{BandwidthTimeSeries, TimeSeriesConfig};
@@ -131,16 +167,35 @@ impl BandwidthTimeSeries {
     ) -> Result<Self, NetModelError> {
         config.validate()?;
         let rho = config.autocorrelation;
-        let sigma_marginal = config.cov * config.mean_bps;
-        let sigma_innov = sigma_marginal * (1.0 - rho * rho).sqrt();
         let floor = config.mean_bps * config.floor_ratio;
         let ceiling = config.mean_bps * config.ceiling_ratio;
         let mut samples = Vec::with_capacity(n);
-        let mut x = config.mean_bps.clamp(floor, ceiling);
-        for _ in 0..n {
-            let eps = sigma_innov * standard_normal(rng);
-            x = (config.mean_bps + rho * (x - config.mean_bps) + eps).clamp(floor, ceiling);
-            samples.push(x);
+        match config.marginal {
+            MarginalDistribution::Normal => {
+                let sigma_marginal = config.cov * config.mean_bps;
+                let sigma_innov = sigma_marginal * (1.0 - rho * rho).sqrt();
+                let mut x = config.mean_bps.clamp(floor, ceiling);
+                for _ in 0..n {
+                    let eps = sigma_innov * standard_normal(rng);
+                    x = (config.mean_bps + rho * (x - config.mean_bps) + eps).clamp(floor, ceiling);
+                    samples.push(x);
+                }
+            }
+            MarginalDistribution::LogNormal => {
+                // exp(N(mu, s²)) has mean `exp(mu + s²/2)` and
+                // CoV `sqrt(e^{s²} − 1)`; invert both to hit the targets.
+                let log_var = (1.0 + config.cov * config.cov).ln();
+                let mu = config.mean_bps.ln() - log_var / 2.0;
+                let sigma_innov = (log_var * (1.0 - rho * rho)).sqrt();
+                // The AR(1) state stays unclamped in the log domain (the
+                // clamp is an output bound, not part of the dynamics).
+                let mut y = mu;
+                for _ in 0..n {
+                    let eps = sigma_innov * standard_normal(rng);
+                    y = mu + rho * (y - mu) + eps;
+                    samples.push(y.exp().clamp(floor, ceiling));
+                }
+            }
         }
         Ok(BandwidthTimeSeries {
             interval_secs: config.interval_secs,
@@ -343,6 +398,107 @@ mod tests {
                 "seed {seed}: sample escaped [{lo}, {hi}]"
             );
         }
+    }
+
+    // --- lognormal marginal ---
+
+    #[test]
+    fn lognormal_marginal_matches_target_moments() {
+        // Seeded-loop property test: across seeds and shapes (including
+        // high CoV), the lognormal marginal hits the target mean and CoV.
+        for seed in 0..12u64 {
+            let cfg = TimeSeriesConfig {
+                mean_bps: 40_000.0 + 20_000.0 * (seed % 4) as f64,
+                cov: 0.2 + 0.4 * (seed % 3) as f64, // up to 1.0
+                autocorrelation: 0.1 + 0.28 * (seed % 3) as f64,
+                marginal: MarginalDistribution::LogNormal,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(1_000 + seed);
+            let ts = BandwidthTimeSeries::generate(&cfg, 60_000, &mut rng).unwrap();
+            let s = Summary::of(ts.samples_bps()).unwrap();
+            assert!(
+                (s.mean - cfg.mean_bps).abs() / cfg.mean_bps < 0.06,
+                "seed {seed}: mean {} target {}",
+                s.mean,
+                cfg.mean_bps
+            );
+            assert!(
+                (s.cov - cfg.cov).abs() < 0.08,
+                "seed {seed}: cov {} target {}",
+                s.cov,
+                cfg.cov
+            );
+            assert!(ts.samples_bps().iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn lognormal_marginal_respects_floor_and_ceiling() {
+        for seed in 0..12u64 {
+            let cfg = TimeSeriesConfig {
+                cov: 0.3 + 0.35 * (seed % 3) as f64,
+                autocorrelation: 0.05 + 0.45 * (seed % 2) as f64,
+                floor_ratio: 0.4,
+                ceiling_ratio: 2.0,
+                marginal: MarginalDistribution::LogNormal,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(2_000 + seed);
+            let ts = BandwidthTimeSeries::generate(&cfg, 20_000, &mut rng).unwrap();
+            let lo = cfg.mean_bps * cfg.floor_ratio;
+            let hi = cfg.mean_bps * cfg.ceiling_ratio;
+            assert!(
+                ts.samples_bps().iter().all(|&x| (lo..=hi).contains(&x)),
+                "seed {seed}: sample escaped [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn lognormal_zero_cov_is_constant_at_the_mean() {
+        let cfg = TimeSeriesConfig {
+            cov: 0.0,
+            marginal: MarginalDistribution::LogNormal,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let ts = BandwidthTimeSeries::generate(&cfg, 50, &mut rng).unwrap();
+        assert!(ts
+            .samples_bps()
+            .iter()
+            .all(|&x| (x - cfg.mean_bps).abs() < 1e-6));
+    }
+
+    #[test]
+    fn lognormal_avoids_the_normal_high_cov_clamp_bias() {
+        // At CoV 1 a normal marginal puts ~16% of its mass below zero;
+        // clamping at the floor inflates the realised mean. The lognormal
+        // marginal is positive by construction, so its mean error must be
+        // well inside the normal's clamp bias on the same configuration.
+        let base = TimeSeriesConfig {
+            cov: 1.0,
+            autocorrelation: 0.6,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let normal = BandwidthTimeSeries::generate(&base, 60_000, &mut rng).unwrap();
+        let lognormal = BandwidthTimeSeries::generate(
+            &TimeSeriesConfig {
+                marginal: MarginalDistribution::LogNormal,
+                ..base
+            },
+            60_000,
+            &mut rng,
+        )
+        .unwrap();
+        let mean_err = |ts: &BandwidthTimeSeries| (ts.mean_bps() - base.mean_bps).abs();
+        assert!(
+            mean_err(&normal) > 3.0 * mean_err(&lognormal),
+            "normal clamp bias {} vs lognormal error {}",
+            mean_err(&normal),
+            mean_err(&lognormal)
+        );
     }
 
     #[test]

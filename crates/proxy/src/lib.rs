@@ -46,6 +46,7 @@ mod client;
 mod content;
 mod error;
 mod origin;
+mod pool;
 pub mod protocol;
 mod proxy;
 mod ratelimit;

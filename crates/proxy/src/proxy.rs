@@ -1,23 +1,45 @@
 //! The caching proxy: prefix caching plus joint cache/origin delivery.
+//!
+//! The request path is built for throughput (see `ARCHITECTURE.md`, "Proxy
+//! data path"): a fixed worker pool drains a bounded accept queue, origin
+//! connections are bounded by a counting semaphore, the origin tail streams
+//! through a fixed-size reusable chunk ring (retaining only the prefix the
+//! policy may admit, never the whole object), and the byte store is
+//! reconciled against the cache engine via its O(changes) delta log instead
+//! of a per-request full-contents scan.
 
 use crate::content::verify_content;
 use crate::error::ProxyError;
+use crate::pool::{AcceptQueue, OriginBudget, OriginPermit};
 use crate::protocol::{
     read_request, read_response, write_request, write_response, Request, Response,
 };
 use crate::store::PrefixStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sc_cache::policy::PolicyKind;
-use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+use sc_cache::fx::{FxHashMap, FxHasher};
+use sc_cache::policy::{PolicyKind, UtilityPolicy};
+use sc_cache::{CacheDelta, CacheEngine, ObjectKey, ObjectMeta};
 use sc_netmodel::{BandwidthEstimator, EwmaEstimator};
-use std::collections::HashMap;
+use std::hash::Hasher as _;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Size of each worker's reusable relay chunk buffer (the "ring"): origin
+/// tails stream through this fixed window, so relay memory per request is
+/// `RING_BYTES` plus whatever prefix the policy may admit — never the whole
+/// object.
+const RING_BYTES: usize = 64 * 1024;
+
+/// Safety margin on the conservative bandwidth lower bound used to size the
+/// tail-retention buffer: the retention cap is computed as the policy
+/// target at 90% of the bound, so estimator movement during the transfer
+/// cannot strand the store short of the engine's eventual grant.
+const RETAIN_BANDWIDTH_SLACK: f64 = 0.9;
 
 /// Configuration of the caching proxy.
 #[derive(Debug, Clone)]
@@ -32,6 +54,14 @@ pub struct ProxyConfig {
     /// observed (bytes per second). Subsequent transfers feed an EWMA
     /// estimator (passive measurement, Section 2.7 of the paper).
     pub assumed_origin_bps: f64,
+    /// Number of request-handler threads in the worker pool (must be ≥ 1).
+    pub worker_threads: usize,
+    /// Capacity of the bounded accept queue between the accept thread and
+    /// the workers (must be ≥ 1). A full queue blocks the accept thread,
+    /// pushing backpressure into the OS listen backlog.
+    pub accept_queue_len: usize,
+    /// Maximum concurrent connections to the origin server (0 = unlimited).
+    pub max_origin_connections: usize,
 }
 
 impl ProxyConfig {
@@ -42,6 +72,9 @@ impl ProxyConfig {
             cache_capacity_bytes,
             policy: PolicyKind::PartialBandwidth,
             assumed_origin_bps: 64_000.0,
+            worker_threads: 8,
+            accept_queue_len: 1024,
+            max_origin_connections: 32,
         }
     }
 }
@@ -61,57 +94,105 @@ pub struct ProxyStats {
     pub cached_bytes: u64,
     /// Latest estimate of the origin-path bandwidth in bytes per second.
     pub estimated_origin_bps: f64,
+    /// Largest tail-retention buffer any single request has resided in
+    /// memory. Together with the fixed per-worker relay ring
+    /// (`RING_BYTES`), this bounds per-request memory: it tracks the prefix
+    /// the policy could admit, not the object size.
+    pub peak_tail_bytes: u64,
 }
 
 #[derive(Debug)]
 struct ProxyState {
     config: ProxyConfig,
-    engine: Mutex<CacheEngine<Box<dyn sc_cache::policy::UtilityPolicy + Send + Sync>>>,
+    engine: Mutex<CacheEngine<Box<dyn UtilityPolicy + Send + Sync>>>,
     store: PrefixStore,
-    metadata: Mutex<HashMap<String, (u64, f64)>>, // name -> (size, bitrate)
-    names: Mutex<HashMap<ObjectKey, String>>,
+    /// name → (size, bitrate) learned from origin response headers.
+    metadata: Mutex<FxHashMap<String, (u64, f64)>>,
+    /// Engine slot handle → object name, the reverse of the engine's
+    /// key→slot interning. Slot handles are dense and stable, so this is a
+    /// flat vector: delta application resolves names in O(1) with no
+    /// per-request map maintenance.
+    slot_names: Mutex<Vec<Option<String>>>,
     estimator: Mutex<EwmaEstimator>,
+    origin_budget: OriginBudget,
     stats: Mutex<ProxyStats>,
 }
 
-/// A running caching proxy (one thread per client connection).
+/// A running caching proxy backed by a fixed worker pool.
 ///
 /// The proxy serves whatever prefix of the requested object it holds at
-/// LAN speed, fetches the remainder from the origin over the (rate-limited)
-/// WAN path, updates its bandwidth estimate from the observed origin
-/// throughput, and lets the configured [`PolicyKind`] decide how large a
-/// prefix of the object to retain.
+/// LAN speed, streams the remainder from the origin over the (rate-limited)
+/// WAN path through a fixed-size relay ring, updates its bandwidth estimate
+/// from the observed origin throughput, and lets the configured
+/// [`PolicyKind`] decide how large a prefix of the object to retain.
+/// Shutdown is graceful: queued and in-flight requests are drained before
+/// the workers exit.
 #[derive(Debug)]
 pub struct CachingProxy {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    queue: Arc<AcceptQueue>,
     state: Arc<ProxyState>,
 }
 
 impl CachingProxy {
-    /// Binds to an ephemeral localhost port and starts accepting clients.
+    /// Binds to an ephemeral localhost port, spawns the worker pool and
+    /// starts accepting clients.
     ///
     /// # Errors
     ///
-    /// Returns [`ProxyError::InvalidConfig`] for a negative capacity and
-    /// [`ProxyError::Io`] if binding fails.
+    /// Returns [`ProxyError::InvalidConfig`] for a negative capacity, a
+    /// zero-sized worker pool or accept queue, and [`ProxyError::Io`] if
+    /// binding fails.
     pub fn start(config: ProxyConfig) -> Result<Self, ProxyError> {
-        let engine = CacheEngine::new(config.cache_capacity_bytes, config.policy.build())
+        if config.worker_threads == 0 {
+            return Err(ProxyError::InvalidConfig(
+                "worker_threads",
+                "the worker pool needs at least one thread".into(),
+            ));
+        }
+        if config.accept_queue_len == 0 {
+            return Err(ProxyError::InvalidConfig(
+                "accept_queue_len",
+                "the accept queue needs a non-zero capacity".into(),
+            ));
+        }
+        let mut engine = CacheEngine::new(config.cache_capacity_bytes, config.policy.build())
             .map_err(|e| ProxyError::InvalidConfig("cache_capacity_bytes", e.to_string()))?;
+        // The proxy reconciles its byte store from the engine's delta log;
+        // the simulator (which shares the engine) leaves tracking off.
+        engine.set_delta_tracking(true);
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(AcceptQueue::new(config.accept_queue_len));
         let state = Arc::new(ProxyState {
-            config,
             engine: Mutex::new(engine),
             store: PrefixStore::new(),
-            metadata: Mutex::new(HashMap::new()),
-            names: Mutex::new(HashMap::new()),
+            metadata: Mutex::new(FxHashMap::default()),
+            slot_names: Mutex::new(Vec::new()),
             estimator: Mutex::new(EwmaEstimator::new(0.3)),
+            origin_budget: OriginBudget::new(config.max_origin_connections),
             stats: Mutex::new(ProxyStats::default()),
+            config,
         });
-        let accept_state = Arc::clone(&state);
+
+        let workers = (0..state.config.worker_threads)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut scratch = WorkerScratch::new(state.config.policy);
+                    while let Some(stream) = queue.pop() {
+                        let _ = handle_client(stream, &state, &mut scratch);
+                    }
+                })
+            })
+            .collect();
+
+        let accept_queue = Arc::clone(&queue);
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
@@ -120,19 +201,23 @@ impl CachingProxy {
                 }
                 match stream {
                     Ok(stream) => {
-                        let state = Arc::clone(&accept_state);
-                        std::thread::spawn(move || {
-                            let _ = handle_client(stream, &state);
-                        });
+                        if !accept_queue.push(stream) {
+                            break;
+                        }
                     }
                     Err(_) => break,
                 }
             }
+            // If the accept loop dies, let the workers drain and park
+            // rather than wait forever on a queue nobody fills.
+            accept_queue.close();
         });
         Ok(CachingProxy {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            workers,
+            queue,
             state,
         })
     }
@@ -161,13 +246,42 @@ impl CachingProxy {
         self.state.store.prefix_len(name)
     }
 
-    /// Requests shutdown and joins the accept thread.
+    /// Snapshot of the cached objects as `(name, engine_bytes,
+    /// store_bytes)` triples, in unspecified order — the engine's granted
+    /// allocation next to the bytes the store actually holds, for
+    /// observability and byte-accounting tests.
+    pub fn contents(&self) -> Vec<(String, f64, usize)> {
+        let engine = self.state.engine.lock();
+        let names = self.state.slot_names.lock();
+        engine
+            .contents()
+            .into_iter()
+            .map(|(key, engine_bytes)| {
+                let name = engine
+                    .slot_of(key)
+                    .and_then(|slot| names.get(slot as usize).cloned().flatten())
+                    .unwrap_or_default();
+                let store_bytes = self.state.store.prefix_len(&name);
+                (name, engine_bytes, store_bytes)
+            })
+            .collect()
+    }
+
+    /// Requests shutdown, drains queued and in-flight requests, and joins
+    /// the accept thread and every worker.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Refuse new connections (this also unblocks an accept thread stuck
+        // on a full queue), then nudge the accept loop awake.
+        self.queue.close();
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Workers drain whatever was queued before the close, then exit.
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -179,50 +293,104 @@ impl Drop for CachingProxy {
     }
 }
 
-/// Stable mapping from object names to cache keys (FNV-1a).
-fn key_for(name: &str) -> ObjectKey {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    ObjectKey::new(h)
+/// Per-worker reusable buffers and a private policy instance: everything a
+/// request needs that should not be reallocated per request or fetched
+/// under a shared lock.
+struct WorkerScratch {
+    /// Fixed-size relay ring: every origin chunk passes through here.
+    chunk: Vec<u8>,
+    /// Tail-retention buffer, capped at the prefix the policy may admit.
+    retained: Vec<u8>,
+    /// Reusable copy buffer for the engine's drained delta log.
+    deltas: Vec<CacheDelta>,
+    /// Stateless policy clone used to size the retention cap without
+    /// touching the engine lock from the relay loop.
+    policy: Box<dyn UtilityPolicy + Send + Sync>,
 }
 
-fn handle_client(stream: TcpStream, state: &ProxyState) -> Result<(), ProxyError> {
+impl WorkerScratch {
+    fn new(policy: PolicyKind) -> Self {
+        WorkerScratch {
+            chunk: vec![0u8; RING_BYTES],
+            retained: Vec::new(),
+            deltas: Vec::new(),
+            policy: policy.build(),
+        }
+    }
+}
+
+/// Stable mapping from object names to cache keys: the same Fx mix the
+/// engine's key→slot interning map uses (`sc_cache::fx`), applied to the
+/// name bytes. Keys only need to be stable within one proxy process.
+fn key_for(name: &str) -> ObjectKey {
+    let mut hasher = FxHasher::default();
+    hasher.write(name.as_bytes());
+    ObjectKey::new(hasher.finish())
+}
+
+/// Tail bytes worth retaining for the store, given the conservative
+/// bandwidth lower bound `b_lo`: the policy's target allocation at
+/// slightly-below `b_lo`, minus the prefix already stored. Policy targets
+/// are non-increasing in bandwidth and this request's own observation
+/// lands the EWMA between the prior estimate and the observed throughput,
+/// so a cap computed from a running minimum of those two quantities covers
+/// the engine's eventual grant in the common case. It is best-effort, not
+/// a guarantee: an origin stall after retention already stopped, or
+/// concurrent transfers dragging the shared estimator lower, can leave the
+/// grant larger than what was retained. The grow step then stores only the
+/// bytes in hand (store bytes never exceed the grant — the tolerated
+/// direction of drift) and the store catches up on the object's next
+/// request, which fetches from the shorter stored offset.
+fn retain_cap(
+    policy: &(dyn UtilityPolicy + Send + Sync),
+    meta: &ObjectMeta,
+    b_lo: f64,
+    prefix_bytes: usize,
+) -> usize {
+    let size = meta.size_bytes();
+    let target = policy
+        .target_bytes(meta, (b_lo * RETAIN_BANDWIDTH_SLACK).max(0.0))
+        .clamp(0.0, size);
+    (target.ceil() as usize).saturating_sub(prefix_bytes)
+}
+
+fn handle_client(
+    stream: TcpStream,
+    state: &ProxyState,
+    scratch: &mut WorkerScratch,
+) -> Result<(), ProxyError> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let request = read_request(&mut reader)?;
-    let name = request.name.clone();
+    let name = request.name;
 
     let cached = state.store.get(&name).unwrap_or_default();
     let known_meta = state.metadata.lock().get(&name).copied();
 
     // Open an origin connection when the object is not fully cached or its
     // metadata is still unknown; the connection is opened *before* replying
-    // to the client so that the tail can be relayed as it arrives.
-    let mut origin_reader: Option<BufReader<TcpStream>> = None;
+    // to the client so that the tail can be relayed as it arrives. The
+    // permit bounds concurrent origin connections for the whole transfer.
+    let mut origin: Option<(BufReader<TcpStream>, OriginPermit<'_>)> = None;
     let (size, bitrate) = match known_meta {
         Some((size, bitrate)) => {
             if (cached.len() as u64) < size {
-                origin_reader = Some(
-                    open_origin(state, &name, cached.len() as u64)?
-                        .ok_or_else(|| ProxyError::UnknownObject(name.clone()))?
-                        .0,
-                );
+                let (reader, _, _, permit) = open_origin(state, &name, cached.len() as u64)?
+                    .ok_or_else(|| ProxyError::UnknownObject(name.clone()))?;
+                origin = Some((reader, permit));
             }
             (size, bitrate)
         }
         None => {
             // First contact: learn the metadata from the origin's header.
             match open_origin(state, &name, cached.len() as u64)? {
-                Some((reader, size, bitrate_bps)) => {
+                Some((reader, size, bitrate_bps, permit)) => {
                     state
                         .metadata
                         .lock()
                         .insert(name.clone(), (size, bitrate_bps));
-                    origin_reader = Some(reader);
+                    origin = Some((reader, permit));
                     (size, bitrate_bps)
                 }
                 None => {
@@ -246,106 +414,158 @@ fn handle_client(stream: TcpStream, state: &ProxyState) -> Result<(), ProxyError
     writer.write_all(&cached[..prefix_bytes])?;
     writer.flush()?;
 
-    let mut tail: Vec<u8> = Vec::new();
+    let key = key_for(&name);
+    let duration = size as f64 / bitrate;
+    let meta = ObjectMeta::new(key, duration, bitrate, 0.0);
+
+    // Relay the tail through the fixed-size ring, retaining only the
+    // leading bytes the policy could plausibly admit. `b_lo` is a running
+    // lower bound on this request's contribution to the post-transfer
+    // estimate: the minimum of the prior estimate and the observed
+    // throughput so far (see `retain_cap` for why this is best-effort
+    // rather than exact). Once a byte is dropped the retained prefix can
+    // never be extended again (it must stay contiguous), hence the
+    // `gapped` latch.
+    scratch.retained.clear();
+    let mut tail_len: u64 = 0;
     let mut origin_bps: Option<f64> = None;
-    if let Some(mut reader) = origin_reader.take() {
+    if let Some((mut origin_reader, _permit)) = origin.take() {
+        let mut b_lo = state
+            .estimator
+            .lock()
+            .estimate_bps()
+            .unwrap_or(state.config.assumed_origin_bps);
         let started = Instant::now();
-        let mut chunk = vec![0u8; 16 * 1024];
+        let mut gapped = false;
         loop {
-            let n = reader.read(&mut chunk)?;
+            let n = origin_reader.read(&mut scratch.chunk)?;
             if n == 0 {
                 break;
             }
-            writer.write_all(&chunk[..n])?;
+            writer.write_all(&scratch.chunk[..n])?;
             writer.flush()?;
-            tail.extend_from_slice(&chunk[..n]);
+            tail_len += n as u64;
+            let elapsed = started.elapsed().as_secs_f64();
+            if elapsed > 0.0 {
+                b_lo = b_lo.min(tail_len as f64 / elapsed);
+            }
+            if !gapped {
+                let cap = retain_cap(scratch.policy.as_ref(), &meta, b_lo, prefix_bytes);
+                let keep = cap.saturating_sub(scratch.retained.len()).min(n);
+                scratch.retained.extend_from_slice(&scratch.chunk[..keep]);
+                gapped = keep < n;
+            }
         }
         let secs = started.elapsed().as_secs_f64();
-        if secs > 0.0 && !tail.is_empty() {
-            origin_bps = Some(tail.len() as f64 / secs);
+        if secs > 0.0 && tail_len > 0 {
+            origin_bps = Some(tail_len as f64 / secs);
         }
     }
 
-    // Defensive check: the relayed tail must continue the cached prefix.
+    // Defensive check: the retained tail must continue the cached prefix.
     debug_assert_eq!(
-        verify_content(&name, prefix_bytes as u64, &tail),
+        verify_content(&name, prefix_bytes as u64, &scratch.retained),
         None,
         "origin payload does not match expected content"
     );
-    let origin_payload = tail;
 
-    // Update the bandwidth estimate from the observed origin throughput.
-    if let Some(bps) = origin_bps {
-        state.estimator.lock().observe(bps);
-    }
-    let estimated = state
-        .estimator
-        .lock()
-        .estimate_bps()
-        .unwrap_or(state.config.assumed_origin_bps);
+    // Update the bandwidth estimate from the observed origin throughput
+    // (observe + read under a single estimator acquisition).
+    let estimated = {
+        let mut estimator = state.estimator.lock();
+        if let Some(bps) = origin_bps {
+            estimator.observe(bps);
+        }
+        estimator
+            .estimate_bps()
+            .unwrap_or(state.config.assumed_origin_bps)
+    };
 
-    // Let the policy decide how much of this object to keep, then reconcile
-    // the byte store with the engine's allocations.
-    let key = key_for(&name);
-    state.names.lock().insert(key, name.clone());
-    let duration = size as f64 / bitrate;
-    let meta = ObjectMeta::new(key, duration, bitrate, 0.0);
-    let target_bytes;
+    // Let the policy decide how much of this object to keep, then apply
+    // the engine's delta log to the byte store: O(changes) per request,
+    // no contents() rescan. Store mutations stay inside the engine lock so
+    // they are serialized in engine-decision order.
     {
         let mut engine = state.engine.lock();
         engine.on_access(&meta, estimated);
-        target_bytes = engine.cached_bytes(key);
-        // Remove stored prefixes of objects the engine evicted.
-        let names = state.names.lock();
-        let live: std::collections::HashSet<ObjectKey> =
-            engine.contents().iter().map(|(k, _)| *k).collect();
-        for (k, n) in names.iter() {
-            if !live.contains(k) {
-                state.store.remove(n);
+        let target_bytes = engine.cached_bytes(key);
+        let slot = engine
+            .slot_of(key)
+            .expect("accessed keys are interned by on_access");
+        scratch.deltas.clear();
+        scratch.deltas.extend(engine.drain_deltas());
+
+        {
+            let mut names = state.slot_names.lock();
+            if names.len() <= slot as usize {
+                names.resize(slot as usize + 1, None);
+            }
+            if names[slot as usize].is_none() {
+                names[slot as usize] = Some(name.clone());
+            }
+            for delta in &scratch.deltas {
+                // The accessed object's own change is applied below from
+                // the bytes in hand; deltas handle everything else
+                // (evictions of other objects).
+                if delta.slot == slot {
+                    continue;
+                }
+                if let Some(victim) = names.get(delta.slot as usize).and_then(Option::as_ref) {
+                    if delta.new_bytes <= 0.0 {
+                        state.store.remove(victim);
+                    } else {
+                        state.store.truncate(victim, delta.new_bytes as usize);
+                    }
+                }
             }
         }
-        // Shrink over-long prefixes (e.g. after the engine reduced another
-        // object's allocation).
-        for (k, bytes) in engine.contents() {
-            if let Some(n) = names.get(&k) {
-                state.store.truncate(n, bytes as usize);
+
+        // Grow this object's stored prefix up to the engine's allocation
+        // using the bytes in hand (cached prefix + retained tail).
+        let desired = (target_bytes as usize).min(size as usize);
+        if desired > 0 {
+            let have = prefix_bytes + scratch.retained.len();
+            let usable = desired.min(have);
+            if usable > state.store.prefix_len(&name) {
+                let mut prefix = Vec::with_capacity(usable);
+                prefix.extend_from_slice(&cached[..prefix_bytes.min(usable)]);
+                if usable > prefix_bytes {
+                    prefix.extend_from_slice(&scratch.retained[..usable - prefix_bytes]);
+                }
+                state.store.put(&name, Bytes::from(prefix));
             }
+        } else {
+            state.store.remove(&name);
         }
     }
 
-    // Grow this object's stored prefix up to the engine's allocation using
-    // the bytes we already have in hand (cached prefix + relayed tail).
-    let desired = (target_bytes as usize).min(size as usize);
-    if desired > 0 {
-        let have = prefix_bytes + origin_payload.len();
-        let usable = desired.min(have);
-        if usable > state.store.prefix_len(&name) {
-            let mut prefix = Vec::with_capacity(usable);
-            prefix.extend_from_slice(&cached[..prefix_bytes.min(usable)]);
-            if usable > prefix_bytes {
-                prefix.extend_from_slice(&origin_payload[..usable - prefix_bytes]);
-            }
-            state.store.put(&name, Bytes::from(prefix));
-        }
-    } else {
-        state.store.remove(&name);
+    {
+        let mut stats = state.stats.lock();
+        stats.requests += 1;
+        stats.bytes_from_cache += prefix_bytes as u64;
+        stats.bytes_from_origin += tail_len;
+        stats.peak_tail_bytes = stats.peak_tail_bytes.max(scratch.retained.len() as u64);
     }
 
-    let mut stats = state.stats.lock();
-    stats.requests += 1;
-    stats.bytes_from_cache += prefix_bytes as u64;
-    stats.bytes_from_origin += origin_payload.len() as u64;
+    // A request that retained a large prefix must not pin that capacity in
+    // the worker for the proxy's lifetime: release it back down to the
+    // ring size once the bytes have been handed to the store.
+    scratch.retained.clear();
+    scratch.retained.shrink_to(RING_BYTES);
     Ok(())
 }
 
 /// Opens an origin connection for `name` starting at `offset` and reads the
-/// response header. Returns the positioned reader plus the object's size and
+/// response header, holding one origin-budget permit for the connection's
+/// lifetime. Returns the positioned reader plus the object's size and
 /// bit-rate, or `None` if the origin does not know the object.
-fn open_origin(
-    state: &ProxyState,
+#[allow(clippy::type_complexity)]
+fn open_origin<'a>(
+    state: &'a ProxyState,
     name: &str,
     offset: u64,
-) -> Result<Option<(BufReader<TcpStream>, u64, f64)>, ProxyError> {
+) -> Result<Option<(BufReader<TcpStream>, u64, f64, OriginPermit<'a>)>, ProxyError> {
+    let permit = state.origin_budget.acquire();
     let stream = TcpStream::connect(state.config.origin_addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut origin_writer = BufWriter::new(stream);
@@ -357,7 +577,7 @@ fn open_origin(
         },
     )?;
     match read_response(&mut reader)? {
-        Response::Ok { size, bitrate_bps } => Ok(Some((reader, size, bitrate_bps))),
+        Response::Ok { size, bitrate_bps } => Ok(Some((reader, size, bitrate_bps, permit))),
         Response::Err(_) => Ok(None),
     }
 }
@@ -373,15 +593,39 @@ mod tests {
     }
 
     #[test]
-    fn proxy_config_defaults_to_pb() {
+    fn proxy_config_defaults() {
         let cfg = ProxyConfig::new("127.0.0.1:9".parse().unwrap(), 1e6);
         assert_eq!(cfg.policy, PolicyKind::PartialBandwidth);
         assert!(cfg.assumed_origin_bps > 0.0);
+        assert!(cfg.worker_threads >= 1);
+        assert!(cfg.accept_queue_len >= 1);
     }
 
     #[test]
-    fn invalid_capacity_is_rejected() {
-        let cfg = ProxyConfig::new("127.0.0.1:9".parse().unwrap(), -1.0);
+    fn invalid_configs_are_rejected() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        assert!(CachingProxy::start(ProxyConfig::new(addr, -1.0)).is_err());
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.worker_threads = 0;
         assert!(CachingProxy::start(cfg).is_err());
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.accept_queue_len = 0;
+        assert!(CachingProxy::start(cfg).is_err());
+    }
+
+    #[test]
+    fn retention_cap_covers_the_policy_target() {
+        let policy = PolicyKind::PartialBandwidth.build();
+        let meta = ObjectMeta::new(ObjectKey::new(1), 10.0, 100_000.0, 0.0);
+        // PB at 40 KB/s wants (100 - 40) * 10 = 600 KB; the slack makes the
+        // cap at least that.
+        let cap = retain_cap(policy.as_ref(), &meta, 40_000.0, 0);
+        assert!(cap >= 600_000, "cap {cap}");
+        assert!(cap <= meta.size_bytes() as usize);
+        // A stored prefix reduces what is worth retaining.
+        let cap_warm = retain_cap(policy.as_ref(), &meta, 40_000.0, 500_000);
+        assert!(cap_warm >= 100_000 && cap_warm < cap, "cap_warm {cap_warm}");
+        // Abundant bandwidth: nothing worth retaining.
+        assert_eq!(retain_cap(policy.as_ref(), &meta, 1e9, 0), 0);
     }
 }

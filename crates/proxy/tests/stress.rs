@@ -1,0 +1,184 @@
+//! Multi-client stress tests of the worker-pool proxy: concurrent requests
+//! over a shared catalog, with byte-accounting consistency between the
+//! cache engine's grants and the prefix store checked after the load
+//! drains. The store is reconciled from the engine's delta log, so these
+//! invariants are exactly what the O(changes) reconciliation must
+//! preserve against the old full-`contents()` rescan semantics.
+
+use sc_cache::policy::PolicyKind;
+use sc_proxy::{
+    CachingProxy, ObjectSpec, OriginConfig, OriginServer, ProxyConfig, StreamingClient,
+};
+
+/// Asserts the engine/store byte-accounting invariants on a drained proxy:
+/// every store entry belongs to a live engine entry and never exceeds the
+/// engine's grant, no store bytes exist outside engine-tracked entries,
+/// and the engine respects its capacity.
+fn assert_byte_accounting(proxy: &CachingProxy, capacity_bytes: f64) {
+    let contents = proxy.contents();
+    let mut engine_total = 0.0;
+    let mut store_total = 0usize;
+    for (name, engine_bytes, store_bytes) in &contents {
+        assert!(!name.is_empty(), "engine entry without a registered name");
+        assert!(
+            *store_bytes as f64 <= engine_bytes.ceil(),
+            "store holds {store_bytes} B of `{name}` but the engine granted only {engine_bytes}"
+        );
+        engine_total += engine_bytes;
+        store_total += store_bytes;
+    }
+    assert!(
+        engine_total <= capacity_bytes + 1e-6,
+        "engine over capacity: {engine_total} > {capacity_bytes}"
+    );
+    // No orphans: every byte the store holds is accounted to a live engine
+    // entry (store mutations are serialized under the engine lock).
+    let stats = proxy.stats();
+    assert_eq!(
+        stats.cached_bytes as usize, store_total,
+        "store holds bytes for objects the engine does not track"
+    );
+    assert_eq!(stats.cached_objects, contents.len());
+}
+
+#[test]
+fn concurrent_clients_shared_catalog_accounting_stays_consistent() {
+    const OBJECTS: u32 = 24;
+    const OBJECT_BYTES: u64 = 32 * 1024;
+    const BITRATE: f64 = 4e6; // bit-rate far above the path: PB caches prefixes
+    let specs: Vec<ObjectSpec> = (0..OBJECTS)
+        .map(|i| ObjectSpec::new(format!("movie-{i}"), OBJECT_BYTES, BITRATE))
+        .collect();
+    let origin = OriginServer::start(OriginConfig {
+        objects: specs,
+        rate_limit_bps: 2e6,
+    })
+    .unwrap();
+    // Capacity for roughly six whole objects: admissions and evictions
+    // churn continuously under the shared catalog.
+    let capacity = 6.0 * OBJECT_BYTES as f64;
+    let mut config = ProxyConfig::new(origin.addr(), capacity);
+    config.worker_threads = 4;
+    config.max_origin_connections = 8;
+    let proxy = CachingProxy::start(config).unwrap();
+    let addr = proxy.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..8usize {
+            scope.spawn(move || {
+                let client = StreamingClient::new();
+                for r in 0..12usize {
+                    // Zipf-ish skew: low object ids are requested often,
+                    // the tail rarely — steady eviction pressure.
+                    let id = ((c + r * 7) % 36).min((OBJECTS - 1) as usize);
+                    let report = client.fetch(addr, &format!("movie-{id}")).unwrap();
+                    assert!(report.content_ok, "payload corruption under load");
+                    assert_eq!(report.bytes, OBJECT_BYTES);
+                }
+            });
+        }
+    });
+
+    let stats = proxy.stats();
+    assert_eq!(stats.requests, 8 * 12);
+    assert!(stats.bytes_from_origin > 0);
+    assert_byte_accounting(&proxy, capacity);
+}
+
+#[test]
+fn tiny_worker_pool_and_origin_budget_still_serve_everyone() {
+    // 1 worker and 1 origin permit: everything serializes but nothing
+    // deadlocks, drops or corrupts.
+    let origin = OriginServer::start(OriginConfig {
+        objects: (0..6)
+            .map(|i| ObjectSpec::new(format!("clip-{i}"), 16 * 1024, 1e6))
+            .collect(),
+        rate_limit_bps: 0.0,
+    })
+    .unwrap();
+    let mut config = ProxyConfig::new(origin.addr(), 1e9);
+    config.worker_threads = 1;
+    config.accept_queue_len = 4;
+    config.max_origin_connections = 1;
+    let proxy = CachingProxy::start(config).unwrap();
+    let addr = proxy.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..6usize {
+            scope.spawn(move || {
+                let client = StreamingClient::new();
+                for r in 0..4usize {
+                    let report = client
+                        .fetch(addr, &format!("clip-{}", (c + r) % 6))
+                        .unwrap();
+                    assert!(report.content_ok);
+                }
+            });
+        }
+    });
+    assert_eq!(proxy.stats().requests, 24);
+    assert_byte_accounting(&proxy, 1e9);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_joins() {
+    let origin = OriginServer::start(OriginConfig {
+        objects: vec![ObjectSpec::new("clip", 64 * 1024, 1e6)],
+        rate_limit_bps: 0.0,
+    })
+    .unwrap();
+    let mut proxy = CachingProxy::start(ProxyConfig::new(origin.addr(), 1e9)).unwrap();
+    let client = StreamingClient::new();
+    for _ in 0..3 {
+        client.fetch(proxy.addr(), "clip").unwrap();
+    }
+    let before = proxy.stats();
+    proxy.shutdown();
+    // Shutdown is idempotent and the stats survive it.
+    proxy.shutdown();
+    assert_eq!(proxy.stats().requests, before.requests);
+    // New connections are refused once shut down: either the connect fails
+    // outright or the connection is dropped without a response.
+    assert!(client.fetch(proxy.addr(), "clip").is_err());
+}
+
+#[test]
+fn integral_policy_under_concurrency_caches_whole_objects() {
+    const OBJECTS: u32 = 8;
+    const OBJECT_BYTES: u64 = 16 * 1024;
+    let origin = OriginServer::start(OriginConfig {
+        objects: (0..OBJECTS)
+            .map(|i| ObjectSpec::new(format!("clip-{i}"), OBJECT_BYTES, 1e6))
+            .collect(),
+        rate_limit_bps: 0.0,
+    })
+    .unwrap();
+    let mut config = ProxyConfig::new(origin.addr(), 1e9);
+    config.policy = PolicyKind::IntegralFrequency;
+    let proxy = CachingProxy::start(config).unwrap();
+    let addr = proxy.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            scope.spawn(move || {
+                let client = StreamingClient::new();
+                for r in 0..8usize {
+                    let id = (c * 2 + r) as u32 % OBJECTS;
+                    let report = client.fetch(addr, &format!("clip-{id}")).unwrap();
+                    assert!(report.content_ok);
+                }
+            });
+        }
+    });
+
+    // Ample capacity + integral policy: every requested object ends up
+    // fully cached, and the accounting matches exactly.
+    for i in 0..OBJECTS {
+        assert_eq!(
+            proxy.cached_prefix_len(&format!("clip-{i}")),
+            OBJECT_BYTES as usize,
+            "clip-{i} not fully cached"
+        );
+    }
+    assert_byte_accounting(&proxy, 1e9);
+}

@@ -156,6 +156,7 @@ fn configured_floor_and_ceiling_bound_long_series() {
             interval_secs: 240.0,
             floor_ratio: 0.25,
             ceiling_ratio: 2.0,
+            ..TimeSeriesConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(0xF100 + seed);
         let ts = BandwidthTimeSeries::generate(&cfg, 50_000, &mut rng).unwrap();
