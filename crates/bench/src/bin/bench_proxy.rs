@@ -20,6 +20,11 @@
 //!   the whole tail is relayed. Reports the proxy's peak resident
 //!   tail-retention bytes, which together with the fixed relay ring bounds
 //!   per-request memory under large-object workloads.
+//!
+//! A third output, `BENCH_shard.json`, sweeps the warm phase over worker
+//! counts (1→64) at fixed engine shard counts (a single-lock engine versus
+//! one sharded wider than any pool), tracking how request throughput
+//! responds to pool size with and without cache-lock contention.
 
 use sc_cache::policy::PolicyKind;
 use sc_proxy::protocol::{read_response, write_request, Request, Response};
@@ -96,7 +101,15 @@ fn raw_fetch(addr: SocketAddr, name: &str, scratch: &mut [u8]) -> u64 {
 /// cache. The integral-frequency policy caches whole objects, so after the
 /// sequential warm-up pass every request is served entirely from the prefix
 /// store and the timed region measures pure proxy request-path overhead.
-fn bench_warm_clients(clients: usize, requests_per_client: usize, objects: u32) -> PhaseResult {
+/// `workers`/`shards` configure the proxy's worker pool and engine shard
+/// count (`shards = 0` keeps the default of one shard per worker).
+fn bench_warm_clients(
+    clients: usize,
+    requests_per_client: usize,
+    objects: u32,
+    workers: usize,
+    shards: usize,
+) -> PhaseResult {
     const OBJECT_BYTES: u64 = 16 * 1024;
     const BITRATE_BPS: f64 = 1e6;
     let specs: Vec<ObjectSpec> = (0..objects)
@@ -109,6 +122,8 @@ fn bench_warm_clients(clients: usize, requests_per_client: usize, objects: u32) 
     .expect("origin start");
     let mut config = ProxyConfig::new(origin.addr(), 1e12);
     config.policy = PolicyKind::IntegralFrequency;
+    config.worker_threads = workers;
+    config.engine_shards = shards;
     let proxy = CachingProxy::start(config).expect("proxy start");
     let addr = proxy.addr();
 
@@ -220,6 +235,86 @@ fn bench_large_tail(object_bytes: u64) -> PhaseResult {
     }
 }
 
+/// One point of the worker-scaling sweep: the warm phase at a given worker
+/// and shard count.
+struct SweepPoint {
+    workers: usize,
+    shards: usize,
+    result: PhaseResult,
+}
+
+/// Worker-count scaling sweep at fixed shard counts: how proxy throughput
+/// responds to pool size when the cache is a single lock (`shards = 1`)
+/// versus sharded wider than the pool (`shards ≥ workers`). Each point is
+/// an independent proxy+origin pair on a warm cache.
+fn sweep_workers(
+    worker_counts: &[usize],
+    shard_counts: &[usize],
+    clients: usize,
+    requests_per_client: usize,
+    objects: u32,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &shards in shard_counts {
+        for &workers in worker_counts {
+            let result = bench_warm_clients(clients, requests_per_client, objects, workers, shards);
+            println!(
+                "sweep workers={workers:<3} shards={shards:<3} {:>10.0} req/s  p99 {:>8.4} s",
+                result.requests_per_sec(),
+                result.p99_delay_secs,
+            );
+            points.push(SweepPoint {
+                workers,
+                shards,
+                result,
+            });
+        }
+    }
+    points
+}
+
+/// Serialises the sweep as `BENCH_shard.json` (or the smoke variant).
+fn write_shard_json(points: &[SweepPoint], smoke: bool, clients: usize) {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"id\": \"bench_shard\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    json.push_str("  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workers\": {}, \"shards\": {}, \"requests\": {}, \
+             \"wall_clock_secs\": {:.6}, \"requests_per_sec\": {:.1}, \
+             \"p50_delay_secs\": {:.6}, \"p99_delay_secs\": {:.6}}}",
+            p.workers,
+            p.shards,
+            p.result.requests,
+            p.result.wall_clock_secs,
+            p.result.requests_per_sec(),
+            p.result.p50_delay_secs,
+            p.result.p99_delay_secs,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = if smoke {
+        let _ = std::fs::create_dir_all("results");
+        "results/BENCH_shard_smoke.json"
+    } else {
+        "BENCH_shard.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (clients, requests_per_client, objects, large_bytes) = if smoke {
@@ -229,7 +324,8 @@ fn main() {
     };
 
     let results = [
-        bench_warm_clients(clients, requests_per_client, objects),
+        // Default worker pool and sharding (one shard per worker).
+        bench_warm_clients(clients, requests_per_client, objects, 8, 0),
         bench_large_tail(large_bytes),
     ];
 
@@ -283,4 +379,26 @@ fn main() {
         Ok(()) => println!("(wrote {path})"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
+
+    // Worker-scaling sweep → BENCH_shard.json. Full mode walks 1→64 workers
+    // against a single-lock engine and one sharded wider than any pool;
+    // smoke mode pins two small points per shard count as a CI gate.
+    let (worker_counts, shard_counts, sweep_requests, sweep_objects): (
+        &[usize],
+        &[usize],
+        usize,
+        u32,
+    ) = if smoke {
+        (&[1, 4], &[1, 4], 6, 64)
+    } else {
+        (&[1, 2, 4, 8, 16, 32, 64], &[1, 64], 40, 512)
+    };
+    let points = sweep_workers(
+        worker_counts,
+        shard_counts,
+        clients,
+        sweep_requests,
+        sweep_objects,
+    );
+    write_shard_json(&points, smoke, clients);
 }

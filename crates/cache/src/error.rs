@@ -13,6 +13,8 @@ pub enum CacheError {
     InvalidInput(&'static str, f64),
     /// Two parallel input slices had different lengths (expected, actual).
     LengthMismatch(usize, usize),
+    /// A sharded engine was asked for zero shards.
+    InvalidShardCount(usize),
 }
 
 impl fmt::Display for CacheError {
@@ -29,6 +31,9 @@ impl fmt::Display for CacheError {
                     f,
                     "input slices must have equal length: expected {expected}, got {actual}"
                 )
+            }
+            CacheError::InvalidShardCount(n) => {
+                write!(f, "a sharded engine needs at least one shard, got {n}")
             }
         }
     }

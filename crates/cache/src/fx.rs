@@ -87,6 +87,22 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hashes a single `u64` with the Fx mix — the shard-routing primitive
+/// used by [`ShardedEngine`](crate::ShardedEngine) (`hash(key) % shards`),
+/// exposed so tests and external routers can reproduce the placement.
+///
+/// ```
+/// use sc_cache::fx::hash_u64;
+/// assert_eq!(hash_u64(42), hash_u64(42));
+/// assert_ne!(hash_u64(42), hash_u64(43));
+/// ```
+#[inline]
+pub fn hash_u64(value: u64) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write_u64(value);
+    hasher.finish()
+}
+
 /// [`BuildHasher`](std::hash::BuildHasher) for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

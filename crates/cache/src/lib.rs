@@ -23,6 +23,10 @@
 //!   eviction. Per-object state lives in a dense slab addressed by `u32`
 //!   slot handles, so the steady-state access path is hash-free and
 //!   allocation-free (see `ARCHITECTURE.md`, "Hot path & performance").
+//! * [`ShardedEngine`] — N-way sharding of the engine for concurrent
+//!   callers: independent slabs routed by key hash, per-shard byte budgets
+//!   with optional power-of-two-choices stealing, and lock-free aggregate
+//!   statistics ([`AtomicCacheStats`]).
 //! * [`fx`] — the hand-rolled Fx-style hasher behind the engine's thin
 //!   key→slot interning map.
 //! * Offline solvers — [`optimal_partial_allocation`] (the fractional
@@ -67,6 +71,7 @@ mod heap;
 mod object;
 mod optimal;
 pub mod policy;
+mod shard;
 mod stats;
 
 pub use alloc::{
@@ -80,4 +85,5 @@ pub use optimal::{
     average_service_delay, exact_value_selection, greedy_value_selection,
     optimal_partial_allocation, total_value, OfflineObject,
 };
-pub use stats::CacheStats;
+pub use shard::ShardedEngine;
+pub use stats::{AtomicCacheStats, CacheStats};

@@ -1,0 +1,591 @@
+//! N-way sharding of the cache engine for concurrent callers.
+//!
+//! A single [`CacheEngine`] behind one mutex serializes every request that
+//! touches the cache — the scalability ceiling of the proxy's worker pool.
+//! [`ShardedEngine`] splits the key space across `N` independent engine
+//! slabs (key hash → shard via the Fx mix, [`fx::hash_u64`]), each with its
+//! own lock, utility heap, key→slot interning and byte budget, so accesses
+//! to different shards never contend. Aggregate statistics live in a
+//! lock-free [`AtomicCacheStats`] block updated from each access outcome,
+//! so observability reads ([`stats`](ShardedEngine::stats)) take no shard
+//! lock at all.
+//!
+//! **Budgets.** The global byte budget is split evenly across shards
+//! (floored, with the remainder going to shard 0), and eviction is local to
+//! each shard by default: an object competes only with the objects that
+//! hash to its shard. Optionally ([`set_steal`](ShardedEngine::set_steal))
+//! a shard whose admission falls short of the policy target may steal
+//! budget with a power-of-two-choices probe: pick two other shards at
+//! random, evict strictly-lower-utility entries from the *richer* one (more
+//! used bytes), and migrate exactly the freed bytes of capacity to the
+//! requesting shard. The sum of shard capacities always equals the global
+//! budget; per-shard capacities drift to follow utility mass.
+//!
+//! **Determinism.** `shards = 1` routes every key to one engine whose
+//! behaviour — outcomes, contents, and statistics, bit for bit — is
+//! identical to an unsharded [`CacheEngine`] with the same capacity, which
+//! is why the simulator's determinism-pinned paths keep using the plain
+//! engine (or one shard) while the proxy shards freely. With several
+//! shards, single-threaded runs are still deterministic (routing is a pure
+//! hash and the steal probe's RNG is seeded); under concurrency the
+//! interleaving of accesses to the *same* shard is scheduling-dependent,
+//! like any locked cache.
+
+use crate::engine::CacheEngine;
+use crate::error::CacheError;
+use crate::fx;
+use crate::object::{ObjectKey, ObjectMeta};
+use crate::policy::UtilityPolicy;
+use crate::stats::{AtomicCacheStats, CacheStats};
+use crate::AccessOutcome;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Seed of the steal probe's xorshift RNG (an arbitrary non-zero odd
+/// constant; the probe only needs decorrelated shard picks).
+const STEAL_RNG_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// An array of independent [`CacheEngine`] shards routed by key hash.
+///
+/// Concurrency-safe by shard: all methods take `&self`, so the engine can
+/// sit directly in an `Arc` shared across worker threads.
+///
+/// ```
+/// use sc_cache::policy::PartialBandwidth;
+/// use sc_cache::{ObjectKey, ObjectMeta, ShardedEngine};
+///
+/// # fn main() -> Result<(), sc_cache::CacheError> {
+/// let cache = ShardedEngine::new(10_000_000.0, 4, PartialBandwidth::new)?;
+/// let obj = ObjectMeta::new(ObjectKey::new(1), 100.0, 48_000.0, 0.0);
+/// cache.on_access(&obj, 24_000.0);
+/// assert_eq!(cache.cached_bytes(obj.key), obj.size_bytes() / 2.0);
+/// assert_eq!(cache.stats().requests, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine<P> {
+    shards: Vec<Mutex<CacheEngine<P>>>,
+    capacity_bytes: f64,
+    stats: AtomicCacheStats,
+    steal: AtomicBool,
+    steal_rng: AtomicU64,
+}
+
+impl<P: UtilityPolicy> ShardedEngine<P> {
+    /// Creates `shards` engine slabs sharing `capacity_bytes`: every shard
+    /// gets `floor(capacity / shards)` bytes and shard 0 additionally keeps
+    /// the remainder, so the budgets sum to the global capacity exactly.
+    ///
+    /// `make_policy` is called once per shard (policies may carry state, so
+    /// each shard owns its own instance).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::InvalidCapacity`] for a negative or non-finite
+    /// capacity, [`CacheError::InvalidShardCount`] for zero shards.
+    pub fn new(
+        capacity_bytes: f64,
+        shards: usize,
+        mut make_policy: impl FnMut() -> P,
+    ) -> Result<Self, CacheError> {
+        if shards == 0 {
+            return Err(CacheError::InvalidShardCount(shards));
+        }
+        if !capacity_bytes.is_finite() || capacity_bytes < 0.0 {
+            return Err(CacheError::InvalidCapacity(capacity_bytes));
+        }
+        let per_shard = (capacity_bytes / shards as f64).floor();
+        let shard0 = capacity_bytes - per_shard * (shards - 1) as f64;
+        let engines = (0..shards)
+            .map(|i| {
+                let budget = if i == 0 { shard0 } else { per_shard };
+                CacheEngine::new(budget, make_policy()).map(Mutex::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedEngine {
+            shards: engines,
+            capacity_bytes,
+            stats: AtomicCacheStats::new(),
+            steal: AtomicBool::new(false),
+            steal_rng: AtomicU64::new(STEAL_RNG_SEED),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global byte budget (sum of all shard capacities).
+    pub fn capacity_bytes(&self) -> f64 {
+        self.capacity_bytes
+    }
+
+    /// The shard `key` routes to: `fx::hash_u64(key) % shards`.
+    pub fn shard_of(&self, key: ObjectKey) -> usize {
+        (fx::hash_u64(key.as_u64()) % self.shards.len() as u64) as usize
+    }
+
+    /// Current byte budget of shard `index` (drifts from the initial even
+    /// split only when stealing is enabled).
+    pub fn shard_capacity(&self, index: usize) -> f64 {
+        self.shards[index].lock().capacity_bytes()
+    }
+
+    /// Bytes currently allocated in shard `index`.
+    pub fn shard_used_bytes(&self, index: usize) -> f64 {
+        self.shards[index].lock().used_bytes()
+    }
+
+    /// Total bytes allocated across all shards (locks each shard briefly;
+    /// a moving target under concurrent writers).
+    pub fn used_bytes(&self) -> f64 {
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
+    }
+
+    /// Number of objects with a cached prefix across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` if nothing is cached anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Enables or disables cross-shard budget stealing (off by default).
+    pub fn set_steal(&self, enabled: bool) {
+        self.steal.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether budget stealing is enabled.
+    pub fn steal_enabled(&self) -> bool {
+        self.steal.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free aggregate statistics (see [`AtomicCacheStats`]): no shard
+    /// lock is taken. Bit-identical to the unsharded engine's counters at
+    /// `shards = 1` single-threaded.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    /// Resets the aggregate counters; per-shard engine statistics (used by
+    /// nothing externally, but visible via [`with_shard_index`]) are reset
+    /// too so the two views stay consistent.
+    ///
+    /// [`with_shard_index`]: Self::with_shard_index
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        for shard in &self.shards {
+            shard.lock().reset_stats();
+        }
+    }
+
+    /// Enables or disables the per-shard allocation delta logs (see
+    /// [`CacheEngine::set_delta_tracking`]). Slot handles in drained deltas
+    /// are **shard-local**; mirror consumers must keep one reverse mapping
+    /// per shard and drain inside [`with_shard`](Self::with_shard) /
+    /// [`access_with`](Self::access_with) closures.
+    pub fn set_delta_tracking(&self, enabled: bool) {
+        for shard in &self.shards {
+            shard.lock().set_delta_tracking(enabled);
+        }
+    }
+
+    /// Runs `f` with the engine shard that `key` routes to, under that
+    /// shard's lock, along with the shard index. The closure must not call
+    /// back into this `ShardedEngine` (the shard lock is held).
+    pub fn with_shard<R>(
+        &self,
+        key: ObjectKey,
+        f: impl FnOnce(&mut CacheEngine<P>, usize) -> R,
+    ) -> R {
+        let index = self.shard_of(key);
+        let mut engine = self.shards[index].lock();
+        f(&mut engine, index)
+    }
+
+    /// Runs `f` with shard `index` under its lock (observability walks).
+    pub fn with_shard_index<R>(&self, index: usize, f: impl FnOnce(&mut CacheEngine<P>) -> R) -> R {
+        let mut engine = self.shards[index].lock();
+        f(&mut engine)
+    }
+
+    /// Processes one access on the shard `meta.key` routes to. Semantics
+    /// per shard are exactly [`CacheEngine::on_access`]; aggregate counters
+    /// are updated from the outcome; if stealing is enabled and the policy
+    /// target was not fully admitted, a budget steal is attempted after the
+    /// shard lock is released.
+    pub fn on_access(&self, meta: &ObjectMeta, bandwidth_bps: f64) -> AccessOutcome {
+        self.access_with(meta, bandwidth_bps, |_, _, out| out)
+    }
+
+    /// [`on_access`](Self::on_access), then `f` under the same shard lock —
+    /// the hook mirror consumers (the proxy's byte store) use to drain the
+    /// shard's delta log atomically with the access that produced it.
+    /// `f` receives the engine, the shard index and the access outcome; its
+    /// return value is passed through.
+    pub fn access_with<R>(
+        &self,
+        meta: &ObjectMeta,
+        bandwidth_bps: f64,
+        f: impl FnOnce(&mut CacheEngine<P>, usize, AccessOutcome) -> R,
+    ) -> R {
+        let index = self.shard_of(meta.key);
+        let (result, steal_request) = {
+            let mut engine = self.shards[index].lock();
+            let out = engine.on_access(meta, bandwidth_bps);
+            self.stats.record_access(meta.size_bytes(), &out);
+            if out.evictions > 0 {
+                for &(_, bytes, _) in engine.last_evictions() {
+                    self.stats.record_evicted_bytes(bytes);
+                }
+            }
+            let steal_request = if self.steal_enabled() && self.shards.len() > 1 {
+                self.shortfall_of(&engine, meta, bandwidth_bps, out.cached_bytes_after)
+            } else {
+                None
+            };
+            (f(&mut engine, index, out), steal_request)
+        };
+        if let Some((shortfall, utility)) = steal_request {
+            self.try_steal(index, meta, bandwidth_bps, shortfall, utility);
+        }
+        result
+    }
+
+    /// How far the engine's allocation for `meta` falls short of the policy
+    /// target, plus the object's current utility — computed under the shard
+    /// lock so the steal attempt competes with the exact utility the access
+    /// just used.
+    fn shortfall_of(
+        &self,
+        engine: &CacheEngine<P>,
+        meta: &ObjectMeta,
+        bandwidth_bps: f64,
+        cached_after: f64,
+    ) -> Option<(f64, f64)> {
+        let target = engine
+            .policy()
+            .target_bytes(meta, bandwidth_bps)
+            .clamp(0.0, meta.size_bytes());
+        let shortfall = target - cached_after;
+        if shortfall <= 0.0 {
+            return None;
+        }
+        let slot = engine.slot_of(meta.key)?;
+        Some((shortfall, engine.current_utility(slot, meta, bandwidth_bps)))
+    }
+
+    /// Power-of-two-choices budget steal: probe two other shards, evict
+    /// strictly-lower-utility entries from the richer one, migrate the
+    /// freed capacity to `index`, and retry the grow. Locks are taken one
+    /// at a time (probe, donor, recipient), so no ordering issues arise.
+    fn try_steal(
+        &self,
+        index: usize,
+        meta: &ObjectMeta,
+        bandwidth_bps: f64,
+        shortfall: f64,
+        utility: f64,
+    ) {
+        let Some(donor) = self.pick_donor(index) else {
+            return;
+        };
+        let freed = {
+            let mut engine = self.shards[donor].lock();
+            let (freed, count) = engine.evict_lowest(utility, shortfall);
+            if freed > 0.0 {
+                let capacity = engine.capacity_bytes() - freed;
+                engine.set_capacity(capacity);
+                self.stats.record_evictions(count as u64, freed);
+            }
+            freed
+        };
+        if freed <= 0.0 {
+            return;
+        }
+        let mut engine = self.shards[index].lock();
+        let capacity = engine.capacity_bytes() + freed;
+        engine.set_capacity(capacity);
+        if let Some(slot) = engine.slot_of(meta.key) {
+            let out = engine.regrow_slot(slot, meta, bandwidth_bps);
+            self.stats.record_rebalance(&out);
+            if out.evictions > 0 {
+                for &(_, bytes, _) in engine.last_evictions() {
+                    self.stats.record_evicted_bytes(bytes);
+                }
+            }
+        }
+    }
+
+    /// Picks the donor shard: of two distinct random shards other than
+    /// `index`, the one with more used bytes (one brief lock each).
+    fn pick_donor(&self, index: usize) -> Option<usize> {
+        let n = self.shards.len();
+        let others = n - 1;
+        if others == 0 {
+            return None;
+        }
+        let skip = |i: u64| {
+            let i = i as usize;
+            if i >= index {
+                i + 1
+            } else {
+                i
+            }
+        };
+        let a = skip(self.next_rand() % others as u64);
+        if others == 1 {
+            return Some(a);
+        }
+        let b = skip(self.next_rand() % others as u64);
+        if a == b {
+            return Some(a);
+        }
+        let used_a = self.shards[a].lock().used_bytes();
+        let used_b = self.shards[b].lock().used_bytes();
+        Some(if used_a >= used_b { a } else { b })
+    }
+
+    /// A racy-but-adequate xorshift step: concurrent callers may observe the
+    /// same draw, which only makes two probes correlated, never unsound.
+    fn next_rand(&self) -> u64 {
+        let mut x = self.steal_rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.steal_rng.store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// Bytes of `key` currently cached (0 when absent).
+    pub fn cached_bytes(&self, key: ObjectKey) -> f64 {
+        self.with_shard(key, |engine, _| engine.cached_bytes(key))
+    }
+
+    /// Whether any prefix of `key` is cached.
+    pub fn contains(&self, key: ObjectKey) -> bool {
+        self.with_shard(key, |engine, _| engine.contains(key))
+    }
+
+    /// Number of requests observed for `key` so far.
+    pub fn frequency(&self, key: ObjectKey) -> u64 {
+        self.with_shard(key, |engine, _| engine.frequency(key))
+    }
+
+    /// Snapshot of the full cache contents as `(key, cached_bytes)` pairs,
+    /// shard by shard, in unspecified order within each shard. Not atomic
+    /// across shards under concurrent writers.
+    pub fn contents(&self) -> Vec<(ObjectKey, f64)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().contents());
+        }
+        all
+    }
+
+    /// Removes every cached object from every shard and returns the number
+    /// of evictions. Frequencies and statistics are preserved; aggregate
+    /// eviction counters are updated per victim in the engine's own
+    /// (slot-order) accumulation order, keeping the `shards = 1` counters
+    /// bit-identical to [`CacheEngine::clear`].
+    pub fn clear(&self) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut engine = shard.lock();
+            // Victim bytes in slot order — the order `CacheEngine::clear`
+            // adds them to its own `bytes_evicted` counter.
+            let mut victims: Vec<(u32, f64)> = engine
+                .contents()
+                .into_iter()
+                .map(|(key, bytes)| {
+                    let slot = engine.slot_of(key).expect("cached keys are interned");
+                    (slot, bytes)
+                })
+                .collect();
+            victims.sort_unstable_by_key(|&(slot, _)| slot);
+            evicted += engine.clear();
+            for &(_, bytes) in &victims {
+                self.stats.record_evicted_bytes(bytes);
+            }
+            self.stats.record_evictions(victims.len() as u64, 0.0);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{IntegralBandwidth, PartialBandwidth, PolicyKind};
+
+    const R: f64 = 48_000.0;
+
+    fn obj(key: u64, duration: f64) -> ObjectMeta {
+        ObjectMeta::new(ObjectKey::new(key), duration, R, 1.0)
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(matches!(
+            ShardedEngine::new(1e6, 0, PartialBandwidth::new),
+            Err(CacheError::InvalidShardCount(0))
+        ));
+        assert!(ShardedEngine::new(-1.0, 2, PartialBandwidth::new).is_err());
+        assert!(ShardedEngine::new(f64::NAN, 2, PartialBandwidth::new).is_err());
+    }
+
+    #[test]
+    fn budget_split_sums_to_capacity_with_remainder_on_shard_zero() {
+        let capacity = 10_000_000.0 + 7.0;
+        let cache = ShardedEngine::new(capacity, 3, PartialBandwidth::new).unwrap();
+        let per = (capacity / 3.0).floor();
+        assert_eq!(cache.shard_capacity(1), per);
+        assert_eq!(cache.shard_capacity(2), per);
+        assert_eq!(cache.shard_capacity(0), capacity - 2.0 * per);
+        let total: f64 = (0..3).map(|i| cache.shard_capacity(i)).sum();
+        assert_eq!(total, capacity);
+        // One shard gets everything.
+        let one = ShardedEngine::new(capacity, 1, PartialBandwidth::new).unwrap();
+        assert_eq!(one.shard_capacity(0), capacity);
+    }
+
+    #[test]
+    fn routing_is_stable_and_covers_all_shards() {
+        let cache = ShardedEngine::new(1e9, 4, PartialBandwidth::new).unwrap();
+        let mut seen = [false; 4];
+        for k in 0..64 {
+            let key = ObjectKey::new(k);
+            let s = cache.shard_of(key);
+            assert_eq!(s, cache.shard_of(key), "routing must be stable");
+            assert_eq!(
+                s,
+                (fx::hash_u64(k) % 4) as usize,
+                "routing must be the documented hash"
+            );
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 keys must hit all 4 shards");
+    }
+
+    #[test]
+    fn accesses_land_on_their_shard_and_aggregate() {
+        let cache = ShardedEngine::new(1e9, 4, PartialBandwidth::new).unwrap();
+        for k in 0..16 {
+            cache.on_access(&obj(k, 100.0), R / 2.0);
+        }
+        assert_eq!(cache.stats().requests, 16);
+        assert_eq!(cache.len(), 16);
+        for k in 0..16 {
+            let key = ObjectKey::new(k);
+            let shard = cache.shard_of(key);
+            let in_shard = cache.with_shard_index(shard, |engine| engine.cached_bytes(key));
+            assert_eq!(in_shard, cache.cached_bytes(key));
+            assert!(in_shard > 0.0);
+        }
+        let total: f64 = cache.contents().iter().map(|&(_, b)| b).sum();
+        assert!((total - cache.used_bytes()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_empties_every_shard_and_counts_evictions() {
+        let cache = ShardedEngine::new(1e9, 4, PartialBandwidth::new).unwrap();
+        for k in 0..16 {
+            cache.on_access(&obj(k, 100.0), R / 2.0);
+        }
+        let cached = cache.len();
+        assert_eq!(cache.clear(), cached);
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0.0);
+        assert_eq!(cache.stats().evictions, cached as u64);
+        // Frequencies survive, as in the unsharded engine.
+        assert_eq!(cache.frequency(ObjectKey::new(0)), 1);
+    }
+
+    #[test]
+    fn steal_migrates_budget_and_conserves_the_total() {
+        // Shard budgets of ~2 objects each; a hot object behind a slow path
+        // needs more than its local budget once its shard fills up.
+        let unit = obj(0, 100.0).size_bytes();
+        let capacity = 4.0 * unit;
+        let cache = ShardedEngine::new(capacity, 2, IntegralBandwidth::new).unwrap();
+        cache.set_steal(true);
+        assert!(cache.steal_enabled());
+
+        // Fill both shards with cold objects (one access each).
+        for k in 0..4 {
+            cache.on_access(&obj(k, 100.0), R / 2.0);
+        }
+        // Hammer one big object (two object-units) over a much slower path:
+        // its utility dwarfs the cold entries', and its shard's local
+        // budget (2 units, partly occupied) cannot hold it.
+        let hot = obj(100, 200.0);
+        for _ in 0..6 {
+            cache.on_access(&hot, R / 16.0);
+        }
+        assert!(
+            cache.contains(hot.key),
+            "hot object must be admitted via stolen budget"
+        );
+        let total_capacity: f64 = (0..2).map(|i| cache.shard_capacity(i)).sum();
+        assert!(
+            (total_capacity - capacity).abs() < 1e-6,
+            "steal must conserve the global budget: {total_capacity} vs {capacity}"
+        );
+        for i in 0..2 {
+            assert!(
+                cache.shard_used_bytes(i) <= cache.shard_capacity(i) + 1e-6,
+                "shard {i} over budget"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_disabled_keeps_budgets_fixed() {
+        let unit = obj(0, 100.0).size_bytes();
+        let capacity = 4.0 * unit;
+        let cache = ShardedEngine::new(capacity, 2, IntegralBandwidth::new).unwrap();
+        for k in 0..4 {
+            cache.on_access(&obj(k, 100.0), R / 2.0);
+        }
+        let hot = obj(100, 200.0);
+        for _ in 0..6 {
+            cache.on_access(&hot, R / 16.0);
+        }
+        let per = (capacity / 2.0).floor();
+        assert_eq!(cache.shard_capacity(1), per);
+        assert_eq!(cache.shard_capacity(0), capacity - per);
+    }
+
+    #[test]
+    fn boxed_policies_shard_too() {
+        let kind = PolicyKind::PartialBandwidth;
+        let cache = ShardedEngine::new(1e9, 3, || kind.build()).unwrap();
+        let o = obj(1, 100.0);
+        let out = cache.on_access(&o, R / 2.0);
+        assert!(out.admitted);
+        assert_eq!(cache.cached_bytes(o.key), o.size_bytes() / 2.0);
+    }
+
+    #[test]
+    fn delta_tracking_is_per_shard() {
+        let cache = ShardedEngine::new(1e9, 2, PartialBandwidth::new).unwrap();
+        cache.set_delta_tracking(true);
+        let o = obj(1, 100.0);
+        let drained = cache.access_with(&o, R / 2.0, |engine, index, out| {
+            assert!(out.admitted);
+            assert_eq!(index, cache.shard_of(o.key));
+            engine.drain_deltas().count()
+        });
+        assert_eq!(drained, 1);
+        // The other shard saw nothing.
+        let other = 1 - cache.shard_of(o.key);
+        assert_eq!(
+            cache.with_shard_index(other, |engine| engine.drain_deltas().count()),
+            0
+        );
+    }
+}

@@ -18,7 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sc_cache::policy::{PolicyKind, UtilityPolicy};
-use sc_cache::{AccessOutcome, CacheEngine, ObjectKey, ObjectMeta};
+use sc_cache::{AccessOutcome, CacheEngine, ObjectKey, ObjectMeta, ShardedEngine};
 use std::collections::BTreeMap;
 
 /// The naive reference: entries keyed by raw object id in a `BTreeMap`,
@@ -228,6 +228,93 @@ fn fuzz_policy(kind: PolicyKind, capacity_objects: f64, seed: u64, steps: usize)
     assert!(model.admissions > 0, "{}: no admissions", kind.label());
 }
 
+/// Drives `steps` random accesses through a [`ShardedEngine`] and one
+/// reference model **per shard**, each sized by the engine's own budget
+/// split (`floor(capacity / shards)`, remainder on shard 0) and fed only
+/// the keys the engine's hash routes to it. Outcomes, per-object bytes,
+/// per-shard used bytes and the aggregate counters must all match bitwise
+/// — for `shards = 1` this is exactly the unsharded comparison.
+fn fuzz_sharded(kind: PolicyKind, capacity_objects: f64, shards: usize, seed: u64, steps: usize) {
+    const OBJECTS: u64 = 30;
+    const R: f64 = 48_000.0;
+    let unit = ObjectMeta::new(ObjectKey::new(0), 100.0, R, 1.0).size_bytes();
+    let capacity = capacity_objects * unit;
+
+    let engine = ShardedEngine::new(capacity, shards, || kind.build()).unwrap();
+    // One model per shard, budgets mirroring the engine's split.
+    let per_shard = (capacity / shards as f64).floor();
+    let mut models: Vec<ReferenceModel<_>> = (0..shards)
+        .map(|i| {
+            let budget = if i == 0 {
+                capacity - per_shard * (shards - 1) as f64
+            } else {
+                per_shard
+            };
+            assert_eq!(budget.to_bits(), engine.shard_capacity(i).to_bits());
+            ReferenceModel::new(budget, kind.build())
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let metas: Vec<ObjectMeta> = (0..OBJECTS)
+        .map(|k| ObjectMeta::new(ObjectKey::new(k), 20.0 + 13.0 * k as f64, R, 1.0 + k as f64))
+        .collect();
+
+    for step in 0..steps {
+        let key = rng.gen_range(0..OBJECTS);
+        let bandwidth = rng.gen_range(1_000.0..120_000.0);
+        let meta = &metas[key as usize];
+        let shard = engine.shard_of(meta.key);
+
+        let out = engine.on_access(meta, bandwidth);
+        let expected = models[shard].on_access(meta, bandwidth);
+        assert_eq!(
+            out,
+            expected,
+            "{} ({shards} shards) diverged from model at step {step} (key {key}, shard {shard})",
+            kind.label()
+        );
+        for (s, model) in models.iter().enumerate() {
+            for (k, (bytes, _)) in &model.entries {
+                assert_eq!(
+                    engine.cached_bytes(ObjectKey::new(*k)).to_bits(),
+                    bytes.to_bits(),
+                    "{} cached bytes of {k} (shard {s}) diverged at step {step}",
+                    kind.label()
+                );
+            }
+            assert_eq!(
+                engine.shard_used_bytes(s).to_bits(),
+                model.used.to_bits(),
+                "{} shard {s} used bytes diverged at step {step}",
+                kind.label()
+            );
+        }
+    }
+
+    // Aggregate counters equal the per-shard model sums.
+    let stats = engine.stats();
+    assert_eq!(stats.requests, steps as u64);
+    assert_eq!(stats.hits, models.iter().map(|m| m.hits).sum::<u64>());
+    assert_eq!(
+        stats.evictions,
+        models.iter().map(|m| m.evictions).sum::<u64>()
+    );
+    assert_eq!(
+        stats.admissions,
+        models.iter().map(|m| m.admissions).sum::<u64>()
+    );
+    assert_eq!(
+        engine.len(),
+        models.iter().map(|m| m.entries.len()).sum::<usize>()
+    );
+    assert!(
+        models.iter().map(|m| m.evictions).sum::<u64>() > 0,
+        "{} ({shards} shards): no evictions",
+        kind.label()
+    );
+}
+
 /// PB: partial admission — grants shrink to whatever fits, rollbacks only
 /// when nothing fits at all.
 #[test]
@@ -259,4 +346,25 @@ fn hybrid_matches_reference_model() {
 #[test]
 fn ibv_matches_reference_model() {
     fuzz_policy(PolicyKind::IntegralBandwidthValue, 2.0, 0xA11CE, 3_000);
+}
+
+/// One shard must reproduce the reference model exactly like the plain
+/// engine does — same comparison, routed through `ShardedEngine`.
+#[test]
+fn sharded_pb_one_shard_matches_reference_model() {
+    fuzz_sharded(PolicyKind::PartialBandwidth, 2.5, 1, 0xF00D, 3_000);
+}
+
+/// Four shards: each shard is an independent engine against its own
+/// model, with the hash route deciding membership.
+#[test]
+fn sharded_pb_four_shards_match_reference_models() {
+    fuzz_sharded(PolicyKind::PartialBandwidth, 4.0, 4, 0xF00D, 3_000);
+}
+
+/// IB under sharding keeps the all-or-nothing rollback path hot in every
+/// shard (per-shard budgets are a quarter of the global one).
+#[test]
+fn sharded_ib_four_shards_match_reference_models() {
+    fuzz_sharded(PolicyKind::IntegralBandwidth, 5.0, 4, 0xCAFE, 3_000);
 }

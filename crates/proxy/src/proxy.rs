@@ -19,12 +19,12 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sc_cache::fx::{FxHashMap, FxHasher};
 use sc_cache::policy::{PolicyKind, UtilityPolicy};
-use sc_cache::{CacheDelta, CacheEngine, ObjectKey, ObjectMeta};
+use sc_cache::{CacheDelta, ObjectKey, ObjectMeta, ShardedEngine};
 use sc_netmodel::{BandwidthEstimator, EwmaEstimator};
 use std::hash::Hasher as _;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -62,6 +62,12 @@ pub struct ProxyConfig {
     pub accept_queue_len: usize,
     /// Maximum concurrent connections to the origin server (0 = unlimited).
     pub max_origin_connections: usize,
+    /// Number of independent cache-engine shards (0 = one per worker
+    /// thread). Each shard has its own lock, utility heap and byte budget
+    /// (the capacity is split evenly), so workers serving objects that hash
+    /// to different shards never contend on the cache. `1` reproduces the
+    /// single-engine proxy exactly.
+    pub engine_shards: usize,
 }
 
 impl ProxyConfig {
@@ -75,6 +81,7 @@ impl ProxyConfig {
             worker_threads: 8,
             accept_queue_len: 1024,
             max_origin_connections: 32,
+            engine_shards: 0,
         }
     }
 }
@@ -104,18 +111,27 @@ pub struct ProxyStats {
 #[derive(Debug)]
 struct ProxyState {
     config: ProxyConfig,
-    engine: Mutex<CacheEngine<Box<dyn UtilityPolicy + Send + Sync>>>,
+    /// N-way sharded cache engine: requests for objects in different shards
+    /// take different locks, so the cache decision is no longer a global
+    /// serialization point across the worker pool.
+    engine: ShardedEngine<Box<dyn UtilityPolicy + Send + Sync>>,
     store: PrefixStore,
     /// name → (size, bitrate) learned from origin response headers.
     metadata: Mutex<FxHashMap<String, (u64, f64)>>,
-    /// Engine slot handle → object name, the reverse of the engine's
-    /// key→slot interning. Slot handles are dense and stable, so this is a
-    /// flat vector: delta application resolves names in O(1) with no
-    /// per-request map maintenance.
-    slot_names: Mutex<Vec<Option<String>>>,
+    /// Per-shard: engine slot handle → object name, the reverse of each
+    /// shard's key→slot interning. Slot handles are dense, stable and
+    /// **shard-local**, so this is one flat vector per shard; delta
+    /// application resolves names in O(1) under the same shard lock that
+    /// produced the deltas.
+    slot_names: Vec<Mutex<Vec<Option<String>>>>,
     estimator: Mutex<EwmaEstimator>,
     origin_budget: OriginBudget,
-    stats: Mutex<ProxyStats>,
+    /// Hot request counters, updated lock-free with relaxed atomics (the
+    /// per-request stats critical section is gone).
+    requests: AtomicU64,
+    bytes_from_cache: AtomicU64,
+    bytes_from_origin: AtomicU64,
+    peak_tail_bytes: AtomicU64,
 }
 
 /// A running caching proxy backed by a fixed worker pool.
@@ -159,8 +175,15 @@ impl CachingProxy {
                 "the accept queue needs a non-zero capacity".into(),
             ));
         }
-        let mut engine = CacheEngine::new(config.cache_capacity_bytes, config.policy.build())
-            .map_err(|e| ProxyError::InvalidConfig("cache_capacity_bytes", e.to_string()))?;
+        let shards = if config.engine_shards == 0 {
+            config.worker_threads
+        } else {
+            config.engine_shards
+        };
+        let engine = ShardedEngine::new(config.cache_capacity_bytes, shards, || {
+            config.policy.build()
+        })
+        .map_err(|e| ProxyError::InvalidConfig("cache_capacity_bytes", e.to_string()))?;
         // The proxy reconciles its byte store from the engine's delta log;
         // the simulator (which shares the engine) leaves tracking off.
         engine.set_delta_tracking(true);
@@ -169,13 +192,16 @@ impl CachingProxy {
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(AcceptQueue::new(config.accept_queue_len));
         let state = Arc::new(ProxyState {
-            engine: Mutex::new(engine),
+            engine,
             store: PrefixStore::new(),
             metadata: Mutex::new(FxHashMap::default()),
-            slot_names: Mutex::new(Vec::new()),
+            slot_names: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             estimator: Mutex::new(EwmaEstimator::new(0.3)),
             origin_budget: OriginBudget::new(config.max_origin_connections),
-            stats: Mutex::new(ProxyStats::default()),
+            requests: AtomicU64::new(0),
+            bytes_from_cache: AtomicU64::new(0),
+            bytes_from_origin: AtomicU64::new(0),
+            peak_tail_bytes: AtomicU64::new(0),
             config,
         });
 
@@ -227,18 +253,28 @@ impl CachingProxy {
         self.addr
     }
 
-    /// A snapshot of the proxy's statistics.
+    /// A snapshot of the proxy's statistics. The hot counters are read
+    /// lock-free; only the store summary and the estimator take locks.
     pub fn stats(&self) -> ProxyStats {
-        let mut stats = *self.state.stats.lock();
-        stats.cached_objects = self.state.store.len();
-        stats.cached_bytes = self.state.store.total_bytes() as u64;
-        stats.estimated_origin_bps = self
-            .state
-            .estimator
-            .lock()
-            .estimate_bps()
-            .unwrap_or(self.state.config.assumed_origin_bps);
-        stats
+        ProxyStats {
+            requests: self.state.requests.load(Ordering::Relaxed),
+            bytes_from_cache: self.state.bytes_from_cache.load(Ordering::Relaxed),
+            bytes_from_origin: self.state.bytes_from_origin.load(Ordering::Relaxed),
+            cached_objects: self.state.store.len(),
+            cached_bytes: self.state.store.total_bytes() as u64,
+            estimated_origin_bps: self
+                .state
+                .estimator
+                .lock()
+                .estimate_bps()
+                .unwrap_or(self.state.config.assumed_origin_bps),
+            peak_tail_bytes: self.state.peak_tail_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cache-engine shards this proxy is running with.
+    pub fn engine_shards(&self) -> usize {
+        self.state.engine.shard_count()
     }
 
     /// Bytes of `name` currently cached.
@@ -251,20 +287,28 @@ impl CachingProxy {
     /// allocation next to the bytes the store actually holds, for
     /// observability and byte-accounting tests.
     pub fn contents(&self) -> Vec<(String, f64, usize)> {
-        let engine = self.state.engine.lock();
-        let names = self.state.slot_names.lock();
-        engine
-            .contents()
-            .into_iter()
-            .map(|(key, engine_bytes)| {
-                let name = engine
-                    .slot_of(key)
-                    .and_then(|slot| names.get(slot as usize).cloned().flatten())
-                    .unwrap_or_default();
+        let mut all = Vec::new();
+        for shard in 0..self.state.engine.shard_count() {
+            let shard_contents = self.state.engine.with_shard_index(shard, |engine| {
+                let names = self.state.slot_names[shard].lock();
+                engine
+                    .contents()
+                    .into_iter()
+                    .map(|(key, engine_bytes)| {
+                        let name = engine
+                            .slot_of(key)
+                            .and_then(|slot| names.get(slot as usize).cloned().flatten())
+                            .unwrap_or_default();
+                        (name, engine_bytes)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            all.extend(shard_contents.into_iter().map(|(name, engine_bytes)| {
                 let store_bytes = self.state.store.prefix_len(&name);
                 (name, engine_bytes, store_bytes)
-            })
-            .collect()
+            }));
+        }
+        all
     }
 
     /// Requests shutdown, drains queued and in-flight requests, and joins
@@ -483,69 +527,74 @@ fn handle_client(
 
     // Let the policy decide how much of this object to keep, then apply
     // the engine's delta log to the byte store: O(changes) per request,
-    // no contents() rescan. Store mutations stay inside the engine lock so
-    // they are serialized in engine-decision order.
-    {
-        let mut engine = state.engine.lock();
-        engine.on_access(&meta, estimated);
-        let target_bytes = engine.cached_bytes(key);
-        let slot = engine
-            .slot_of(key)
-            .expect("accessed keys are interned by on_access");
-        scratch.deltas.clear();
-        scratch.deltas.extend(engine.drain_deltas());
+    // no contents() rescan. Only the shard this object hashes to is
+    // locked; store mutations stay inside that shard's critical section so
+    // they are serialized in engine-decision order per shard.
+    state
+        .engine
+        .access_with(&meta, estimated, |engine, shard, _| {
+            let target_bytes = engine.cached_bytes(key);
+            let slot = engine
+                .slot_of(key)
+                .expect("accessed keys are interned by on_access");
+            scratch.deltas.clear();
+            scratch.deltas.extend(engine.drain_deltas());
 
-        {
-            let mut names = state.slot_names.lock();
-            if names.len() <= slot as usize {
-                names.resize(slot as usize + 1, None);
-            }
-            if names[slot as usize].is_none() {
-                names[slot as usize] = Some(name.clone());
-            }
-            for delta in &scratch.deltas {
-                // The accessed object's own change is applied below from
-                // the bytes in hand; deltas handle everything else
-                // (evictions of other objects).
-                if delta.slot == slot {
-                    continue;
+            {
+                let mut names = state.slot_names[shard].lock();
+                if names.len() <= slot as usize {
+                    names.resize(slot as usize + 1, None);
                 }
-                if let Some(victim) = names.get(delta.slot as usize).and_then(Option::as_ref) {
-                    if delta.new_bytes <= 0.0 {
-                        state.store.remove(victim);
-                    } else {
-                        state.store.truncate(victim, delta.new_bytes as usize);
+                if names[slot as usize].is_none() {
+                    names[slot as usize] = Some(name.clone());
+                }
+                for delta in &scratch.deltas {
+                    // The accessed object's own change is applied below from
+                    // the bytes in hand; deltas handle everything else
+                    // (evictions of other objects in this shard).
+                    if delta.slot == slot {
+                        continue;
+                    }
+                    if let Some(victim) = names.get(delta.slot as usize).and_then(Option::as_ref) {
+                        if delta.new_bytes <= 0.0 {
+                            state.store.remove(victim);
+                        } else {
+                            state.store.truncate(victim, delta.new_bytes as usize);
+                        }
                     }
                 }
             }
-        }
 
-        // Grow this object's stored prefix up to the engine's allocation
-        // using the bytes in hand (cached prefix + retained tail).
-        let desired = (target_bytes as usize).min(size as usize);
-        if desired > 0 {
-            let have = prefix_bytes + scratch.retained.len();
-            let usable = desired.min(have);
-            if usable > state.store.prefix_len(&name) {
-                let mut prefix = Vec::with_capacity(usable);
-                prefix.extend_from_slice(&cached[..prefix_bytes.min(usable)]);
-                if usable > prefix_bytes {
-                    prefix.extend_from_slice(&scratch.retained[..usable - prefix_bytes]);
+            // Grow this object's stored prefix up to the engine's allocation
+            // using the bytes in hand (cached prefix + retained tail).
+            let desired = (target_bytes as usize).min(size as usize);
+            if desired > 0 {
+                let have = prefix_bytes + scratch.retained.len();
+                let usable = desired.min(have);
+                if usable > state.store.prefix_len(&name) {
+                    let mut prefix = Vec::with_capacity(usable);
+                    prefix.extend_from_slice(&cached[..prefix_bytes.min(usable)]);
+                    if usable > prefix_bytes {
+                        prefix.extend_from_slice(&scratch.retained[..usable - prefix_bytes]);
+                    }
+                    state.store.put(&name, Bytes::from(prefix));
                 }
-                state.store.put(&name, Bytes::from(prefix));
+            } else {
+                state.store.remove(&name);
             }
-        } else {
-            state.store.remove(&name);
-        }
-    }
+        });
 
-    {
-        let mut stats = state.stats.lock();
-        stats.requests += 1;
-        stats.bytes_from_cache += prefix_bytes as u64;
-        stats.bytes_from_origin += tail_len;
-        stats.peak_tail_bytes = stats.peak_tail_bytes.max(scratch.retained.len() as u64);
-    }
+    // Request counters are lock-free: no stats critical section.
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    state
+        .bytes_from_cache
+        .fetch_add(prefix_bytes as u64, Ordering::Relaxed);
+    state
+        .bytes_from_origin
+        .fetch_add(tail_len, Ordering::Relaxed);
+    state
+        .peak_tail_bytes
+        .fetch_max(scratch.retained.len() as u64, Ordering::Relaxed);
 
     // A request that retained a large prefix must not pin that capacity in
     // the worker for the proxy's lifetime: release it back down to the
@@ -599,6 +648,22 @@ mod tests {
         assert!(cfg.assumed_origin_bps > 0.0);
         assert!(cfg.worker_threads >= 1);
         assert!(cfg.accept_queue_len >= 1);
+        assert_eq!(cfg.engine_shards, 0, "0 = one shard per worker");
+    }
+
+    #[test]
+    fn engine_shards_default_to_worker_count() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.worker_threads = 3;
+        let proxy = CachingProxy::start(cfg).unwrap();
+        assert_eq!(proxy.engine_shards(), 3);
+
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.worker_threads = 3;
+        cfg.engine_shards = 1;
+        let proxy = CachingProxy::start(cfg).unwrap();
+        assert_eq!(proxy.engine_shards(), 1);
     }
 
     #[test]
