@@ -1,0 +1,23 @@
+//! Regenerates the session-contention figure (beyond the paper): PB vs IB
+//! vs LRU replayed through the discrete-event session core, where sessions
+//! span their playback duration and share each origin path's bottleneck
+//! bandwidth by processor sharing. Reports time-weighted metrics —
+//! concurrent viewers, rebuffer probability, origin egress over time.
+//!
+//! Pass `--scale paper` for the full-scale run (default: quick); `--smoke`
+//! is a CI shorthand for `--scale test`.
+
+use sc_sim::experiments::fig_sessions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        sc_sim::experiments::ExperimentScale::Test
+    } else {
+        sc_bench::scale_from_args()
+    };
+    let start = std::time::Instant::now();
+    let figure = fig_sessions(scale)?;
+    sc_bench::emit_session_timed(&figure, start.elapsed());
+    println!("(scale: {scale:?})");
+    Ok(())
+}

@@ -16,7 +16,7 @@
 
 use sc_sim::exec::ExecConfig;
 use sc_sim::experiments::ExperimentScale;
-use sc_sim::{BandwidthModel, FigureResult, Metrics};
+use sc_sim::{BandwidthModel, FigureResult, Metrics, SessionFigureResult, SessionMetrics};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -198,6 +198,99 @@ pub fn figure_to_json_with_info(figure: &FigureResult, info: Option<RunInfo>) ->
     out
 }
 
+/// Like [`emit_timed`], for session-mode figures: prints the table, the
+/// runtime line, and writes `results/<id>.json` with the session-metric
+/// schema (including the `egress_bins_bytes` array).
+pub fn emit_session_timed(figure: &SessionFigureResult, elapsed: Duration) {
+    let info = RunInfo::from_elapsed(elapsed);
+    println!("{}", figure.to_table());
+    println!(
+        "(wall clock: {:.3} s on {} thread{})",
+        info.wall_clock_secs,
+        info.threads,
+        if info.threads == 1 { "" } else { "s" }
+    );
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{}.json", figure.id));
+        if let Err(e) = std::fs::write(&path, session_figure_to_json_with_info(figure, Some(info)))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(wrote {})", path.display());
+        }
+    }
+}
+
+/// Serialises a [`SessionFigureResult`] to pretty-printed JSON; same
+/// hand-rolled schema conventions as [`figure_to_json_with_info`].
+pub fn session_figure_to_json_with_info(
+    figure: &SessionFigureResult,
+    info: Option<RunInfo>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"id\": {},", json_string(&figure.id));
+    let _ = writeln!(out, "  \"title\": {},", json_string(&figure.title));
+    let _ = writeln!(out, "  \"x_label\": {},", json_string(&figure.x_label));
+    if let Some(info) = info {
+        let _ = writeln!(
+            out,
+            "  \"wall_clock_secs\": {},",
+            json_f64(info.wall_clock_secs)
+        );
+        let _ = writeln!(out, "  \"threads\": {},", info.threads);
+    }
+    out.push_str("  \"series\": [\n");
+    for (si, series) in figure.series.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"label\": {},", json_string(&series.label));
+        out.push_str("      \"points\": [\n");
+        for (pi, point) in series.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"x\": {}, \"metrics\": {}}}",
+                json_f64(point.x),
+                session_metrics_to_json(&point.metrics)
+            );
+            out.push_str(if pi + 1 < series.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 < figure.series.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn session_metrics_to_json(m: &SessionMetrics) -> String {
+    let bins: Vec<String> = m.egress_bins_bytes.iter().map(|&b| json_f64(b)).collect();
+    format!(
+        "{{\"sessions\": {}, \"viewer_seconds\": {}, \
+         \"avg_concurrent_viewers\": {}, \"peak_concurrent_viewers\": {}, \
+         \"rebuffer_probability\": {}, \"avg_rebuffer_secs\": {}, \
+         \"traffic_reduction_ratio\": {}, \"origin_bytes_total\": {}, \
+         \"horizon_secs\": {}, \"egress_bins_bytes\": [{}]}}",
+        m.sessions,
+        json_f64(m.viewer_seconds),
+        json_f64(m.avg_concurrent_viewers),
+        m.peak_concurrent_viewers,
+        json_f64(m.rebuffer_probability),
+        json_f64(m.avg_rebuffer_secs),
+        json_f64(m.traffic_reduction_ratio),
+        json_f64(m.origin_bytes_total),
+        json_f64(m.horizon_secs),
+        bins.join(", "),
+    )
+}
+
 fn metrics_to_json(m: &Metrics) -> String {
     format!(
         "{{\"requests\": {}, \"traffic_reduction_ratio\": {}, \
@@ -289,6 +382,46 @@ mod tests {
         assert!(path.exists());
         let written = std::fs::read_to_string(path).unwrap();
         assert!(written.contains("\"threads\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn session_json_includes_bins_and_info() {
+        use sc_sim::SessionFigureSeries;
+        let mut fig = SessionFigureResult::new("selftest_sessions", "session emit", "x");
+        let mut s = SessionFigureSeries::new("PB");
+        s.push(
+            0.05,
+            SessionMetrics {
+                sessions: 10,
+                viewer_seconds: 100.0,
+                avg_concurrent_viewers: 2.0,
+                peak_concurrent_viewers: 4,
+                rebuffer_probability: 0.5,
+                avg_rebuffer_secs: 1.25,
+                traffic_reduction_ratio: 0.3,
+                origin_bytes_total: 1_000.0,
+                egress_bins_bytes: vec![600.0, 400.0],
+                horizon_secs: 50.0,
+            },
+        );
+        fig.series.push(s);
+        let json = session_figure_to_json_with_info(
+            &fig,
+            Some(RunInfo {
+                wall_clock_secs: 2.0,
+                threads: 2,
+            }),
+        );
+        assert!(json.contains("\"egress_bins_bytes\": [600.0, 400.0]"));
+        assert!(json.contains("\"rebuffer_probability\": 0.5"));
+        assert!(json.contains("\"wall_clock_secs\": 2.0"));
+
+        emit_session_timed(&fig, Duration::from_millis(5));
+        let path = std::path::Path::new("results/selftest_sessions.json");
+        assert!(path.exists());
+        let written = std::fs::read_to_string(path).unwrap();
+        assert!(written.contains("\"sessions\": 10"));
         let _ = std::fs::remove_file(path);
     }
 

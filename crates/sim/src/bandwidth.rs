@@ -166,6 +166,27 @@ impl BandwidthProvider {
         }
     }
 
+    /// The bottleneck capacity of the path to object `index` at `time_secs`
+    /// on the simulation clock — the quantity the session-mode
+    /// processor-sharing model divides among concurrent sessions.
+    ///
+    /// Consumes no randomness: in i.i.d. mode the capacity is the path's
+    /// long-run mean (the marginal ratio stream models per-request noise,
+    /// which has no meaning for a shared fluid link), and in AR(1) mode it
+    /// reads the path's time series at `time_secs`. The session core
+    /// samples this only at path events (arrivals and departures), a
+    /// piecewise-constant approximation of the series between events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn capacity_bps(&self, index: usize, time_secs: f64) -> f64 {
+        match &self.series {
+            None => self.paths.mean_bps(index),
+            Some(series) => series[index].bandwidth_at(time_secs),
+        }
+    }
+
     /// Returns `true` when bandwidth evolves over simulated time (AR(1)
     /// mode) rather than being redrawn independently per request.
     pub fn is_time_varying(&self) -> bool {
@@ -394,6 +415,29 @@ mod tests {
                 "path {i}: series mean {mean} vs path mean {path_mean}"
             );
         }
+    }
+
+    #[test]
+    fn capacity_is_mean_in_iid_mode_and_series_in_ar1_mode() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let iid = BandwidthProvider::generate(4, VariabilityKind::NlanrLike, &mut rng);
+        for i in 0..4 {
+            assert_eq!(iid.capacity_bps(i, 0.0), iid.estimated_bps(i));
+            assert_eq!(iid.capacity_bps(i, 1e6), iid.estimated_bps(i));
+        }
+        let ar1 = BandwidthProvider::generate_with_model(
+            3,
+            VariabilityKind::MeasuredModerate,
+            BandwidthModel::Ar1 {
+                autocorrelation: 0.8,
+                interval_secs: 100.0,
+            },
+            1_000.0,
+            &mut rng,
+        );
+        let series = ar1.series(1).unwrap();
+        assert_eq!(ar1.capacity_bps(1, 0.0), series.samples_bps()[0]);
+        assert_eq!(ar1.capacity_bps(1, 150.0), series.samples_bps()[1]);
     }
 
     #[test]

@@ -216,6 +216,8 @@ pub enum SimError {
     BandwidthModel(String),
     /// The bandwidth estimator parameters were invalid.
     Estimator(String),
+    /// The session-mode egress bin count was zero.
+    InvalidEgressBins,
 }
 
 impl fmt::Display for SimError {
@@ -231,6 +233,9 @@ impl fmt::Display for SimError {
             SimError::NoRuns => write!(f, "at least one simulation run is required"),
             SimError::BandwidthModel(why) => write!(f, "invalid bandwidth model: {why}"),
             SimError::Estimator(why) => write!(f, "invalid bandwidth estimator: {why}"),
+            SimError::InvalidEgressBins => {
+                write!(f, "session egress accumulation needs at least one bin")
+            }
         }
     }
 }
@@ -254,8 +259,13 @@ pub struct SimulationConfig {
     /// How the caching algorithm estimates per-path bandwidth.
     pub estimator: EstimatorKind,
     /// Fraction of the trace used to warm the cache before metrics are
-    /// collected (the paper uses the first half, i.e. `0.5`).
+    /// collected (the paper uses the first half, i.e. `0.5`). Per-request
+    /// mode only; session-mode metrics are time-weighted over the whole
+    /// trace.
     pub warmup_fraction: f64,
+    /// Number of fixed-width time bins of the session-mode
+    /// origin-egress-over-time curve (session mode only).
+    pub session_egress_bins: usize,
     /// Base seed; replicated runs use `seed`, `seed + 1`, ….
     pub seed: u64,
 }
@@ -270,6 +280,7 @@ impl Default for SimulationConfig {
             bandwidth_model: BandwidthModel::Iid,
             estimator: EstimatorKind::Oracle,
             warmup_fraction: 0.5,
+            session_egress_bins: 24,
             seed: 1,
         }
     }
@@ -323,6 +334,9 @@ impl SimulationConfig {
         if !self.warmup_fraction.is_finite() || !(0.0..1.0).contains(&self.warmup_fraction) {
             return Err(SimError::InvalidWarmup(self.warmup_fraction));
         }
+        if self.session_egress_bins == 0 {
+            return Err(SimError::InvalidEgressBins);
+        }
         self.bandwidth_model.validate()?;
         self.estimator.validate()?;
         self.workload
@@ -369,6 +383,10 @@ mod tests {
         let mut c = SimulationConfig::small();
         c.workload.catalog.objects = 0;
         assert!(matches!(c.validate(), Err(SimError::Workload(_))));
+        let mut c = SimulationConfig::small();
+        c.session_egress_bins = 0;
+        assert!(matches!(c.validate(), Err(SimError::InvalidEgressBins)));
+        assert!(SimError::InvalidEgressBins.to_string().contains("bin"));
     }
 
     #[test]

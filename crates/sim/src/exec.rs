@@ -40,6 +40,19 @@ use std::sync::{Arc, Mutex};
 /// Environment variable controlling the default number of worker threads.
 pub const THREADS_ENV_VAR: &str = "SC_SIM_THREADS";
 
+/// Derives the bandwidth-stream seed from a run seed.
+///
+/// Bandwidth state (path means, AR(1) series, per-request draws) must be
+/// decoupled from workload generation so that changing workload parameters
+/// never perturbs the bandwidth realisation of a given run seed. Both the
+/// per-request mode ([`SimWorker`]) and the session mode
+/// ([`crate::session::SessionWorker`]) derive their bandwidth RNG from this
+/// function, which keeps the two modes' path capacities comparable for the
+/// same seed.
+pub fn bandwidth_seed(run_seed: u64) -> u64 {
+    run_seed ^ 0x9e37_79b9_7f4a_7c15
+}
+
 /// Configuration of the execution layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
@@ -229,7 +242,7 @@ impl SimWorker {
         // In AR(1) mode the per-path series span the whole trace (the last
         // arrival time); in i.i.d. mode the horizon is irrelevant and the
         // rng stream is identical to the seed behaviour.
-        let mut bw_rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut bw_rng = StdRng::seed_from_u64(bandwidth_seed(self.seed));
         let horizon_secs = trace.requests().last().map_or(0.0, |r| r.time_secs);
         let provider = BandwidthProvider::generate_with_model(
             catalog.len(),
@@ -428,6 +441,70 @@ pub fn run_grid(
     runs: usize,
     executor: &ParallelExecutor,
 ) -> Result<Vec<Metrics>, SimError> {
+    struct PerRequestGrid;
+    impl GridRunner for PerRequestGrid {
+        type Out = Metrics;
+        fn run(
+            &self,
+            config: &SimulationConfig,
+            seed: u64,
+            workload: Arc<SharedWorkload>,
+        ) -> Result<Metrics, SimError> {
+            SimWorker::with_workload(*config, seed, workload)
+                .run()
+                .map(|r| r.metrics)
+        }
+        fn average(&self, runs: &[Metrics]) -> Metrics {
+            Metrics::average(runs)
+        }
+    }
+    run_grid_with(configs, runs, executor, &PerRequestGrid)
+}
+
+/// The per-run body and per-configuration reduction of a simulation grid.
+///
+/// [`run_grid_with`] is generic over this trait so the per-request mode
+/// ([`run_grid`]) and the session mode
+/// ([`crate::session::run_session_grid`]) share one grid engine — the
+/// flattening, workload deduplication, sharding, and deterministic
+/// in-order merge are written (and tested for thread-count invariance)
+/// exactly once.
+pub trait GridRunner: Sync {
+    /// The per-run (and per-configuration, after averaging) result type.
+    type Out: Send;
+
+    /// Executes one `(configuration, seed)` run over a shared workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the run cannot be executed.
+    fn run(
+        &self,
+        config: &SimulationConfig,
+        seed: u64,
+        workload: Arc<SharedWorkload>,
+    ) -> Result<Self::Out, SimError>;
+
+    /// Reduces one configuration's per-seed results (in seed order) to the
+    /// configuration's aggregate.
+    fn average(&self, runs: &[Self::Out]) -> Self::Out;
+}
+
+/// Runs the full `configs × runs` grid through `executor` with a custom
+/// per-run body — the engine behind [`run_grid`], exposed for alternate
+/// simulation modes. See [`run_grid`] for the seeding, deduplication, and
+/// determinism contract.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRuns`] when `runs` is zero, or the first
+/// validation error across the grid in configuration order.
+pub fn run_grid_with<G: GridRunner>(
+    configs: &[SimulationConfig],
+    runs: usize,
+    executor: &ParallelExecutor,
+    runner: &G,
+) -> Result<Vec<G::Out>, SimError> {
     if runs == 0 {
         return Err(SimError::NoRuns);
     }
@@ -466,24 +543,28 @@ pub fn run_grid(
         workloads.push(generated?);
     }
 
-    // Stage 2: run the flattened (configuration, seed) grid. The workers
-    // hold the only remaining Arcs to the workloads (the lookup table is
-    // dropped before running), and the executor consumes each worker as it
-    // completes, so a workload's memory is freed as soon as its last run
-    // finishes instead of living for the whole grid.
-    let workers: Vec<SimWorker> = items
+    // Stage 2: run the flattened (configuration, seed) grid. The work
+    // items hold the only remaining Arcs to the workloads (the lookup
+    // table is dropped before running), and the executor consumes each
+    // item as it completes, so a workload's memory is freed as soon as its
+    // last run finishes instead of living for the whole grid.
+    let work: Vec<(usize, u64, Arc<SharedWorkload>)> = items
         .iter()
-        .map(|&(ci, seed, key)| SimWorker::with_workload(configs[ci], seed, workloads[key].clone()))
+        .map(|&(ci, seed, key)| (ci, seed, workloads[key].clone()))
         .collect();
     drop(workloads);
-    let results = executor.map_consume(workers, |worker| worker.run());
+    let results = executor.map_consume(work, |(ci, seed, workload)| {
+        runner.run(&configs[ci], seed, workload)
+    });
 
     // Merge in deterministic (configuration, seed) order.
-    let mut per_config: Vec<Vec<Metrics>> = vec![Vec::with_capacity(runs); configs.len()];
+    let mut per_config: Vec<Vec<G::Out>> = std::iter::repeat_with(|| Vec::with_capacity(runs))
+        .take(configs.len())
+        .collect();
     for (&(ci, _, _), result) in items.iter().zip(results) {
-        per_config[ci].push(result?.metrics);
+        per_config[ci].push(result?);
     }
-    Ok(per_config.iter().map(|m| Metrics::average(m)).collect())
+    Ok(per_config.iter().map(|m| runner.average(m)).collect())
 }
 
 #[cfg(test)]

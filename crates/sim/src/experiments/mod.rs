@@ -15,6 +15,7 @@
 
 mod estimator_figures;
 mod figures;
+mod session_figures;
 mod table1;
 mod value_figures;
 
@@ -23,6 +24,7 @@ pub use figures::{
     fig5, fig6, fig7, fig7_with, fig8, fig8_with, fig9, policy_comparison_figure,
     policy_comparison_figure_with_model,
 };
+pub use session_figures::{fig_sessions, fig_sessions_with, FIG_SESSIONS_POLICIES};
 pub use table1::{table1, Table1};
 pub use value_figures::{fig10, fig11, fig12, value_comparison_figure};
 

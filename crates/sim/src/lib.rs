@@ -54,20 +54,31 @@
 mod bandwidth;
 mod config;
 mod delivery;
+pub mod event;
 pub mod exec;
 pub mod experiments;
 mod metrics;
 mod report;
 mod runner;
+pub mod session;
 pub mod sweep;
 
 pub use bandwidth::{BandwidthProvider, EstimatorBank};
 pub use config::{BandwidthModel, EstimatorKind, SimError, SimulationConfig, VariabilityKind};
 pub use delivery::{deliver, DeliveryOutcome};
+pub use event::{Event, EventKind, EventQueue};
 pub use exec::{ExecConfig, ParallelExecutor, SharedWorkload, SimWorker};
-pub use metrics::{Metrics, MetricsCollector};
-pub use report::{FigurePoint, FigureResult, FigureSeries};
+pub use metrics::{Metrics, MetricsCollector, SessionMetrics};
+pub use report::{
+    FigurePoint, FigureResult, FigureSeries, SessionFigurePoint, SessionFigureResult,
+    SessionFigureSeries,
+};
 pub use runner::{
-    run_comparison, run_comparison_with, run_replicated, run_replicated_with, run_simulation,
-    RunResult,
+    run_comparison, run_comparison_with, run_replicated, run_replicated_with,
+    run_session_comparison, run_session_comparison_with, run_sessions, run_sessions_replicated,
+    run_sessions_replicated_with, run_simulation, RunResult,
+};
+pub use session::{
+    run_session_grid, simulate_sessions, NoCacheHooks, SessionFinal, SessionHooks,
+    SessionRunResult, SessionSimOutput, SessionSpec, SessionState, SessionWorker,
 };

@@ -1,6 +1,8 @@
-//! The performance metrics of Section 3.3 of the paper.
+//! The performance metrics of Section 3.3 of the paper, plus the
+//! time-weighted session-mode metrics of the discrete-event core.
 
 use crate::delivery::DeliveryOutcome;
+use crate::session::SessionState;
 
 /// Aggregated metrics over the measurement phase of a simulation run.
 ///
@@ -112,6 +114,132 @@ impl Metrics {
     }
 }
 
+/// Time-weighted metrics of one session-mode simulation run
+/// ([`crate::session`]).
+///
+/// Unlike the per-request [`Metrics`], session metrics describe the system
+/// *over time*: how many viewers are concurrently active, how often
+/// playback buffers drain under contention, and how the origin egress is
+/// distributed across the run. All sessions count — the contention
+/// transient is part of the measured signal, so there is no warmup cutoff,
+/// and the concurrent-viewer curve integrates exactly to the sum of the
+/// session durations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionMetrics {
+    /// Number of sessions simulated.
+    pub sessions: u64,
+    /// Integral of the concurrent-viewer curve (viewer-seconds); equals
+    /// the sum of all session playback durations.
+    pub viewer_seconds: f64,
+    /// Time-averaged concurrent viewers over the horizon.
+    pub avg_concurrent_viewers: f64,
+    /// Maximum concurrent viewers at any instant.
+    pub peak_concurrent_viewers: u64,
+    /// Fraction of sessions that rebuffered at least once (total stall
+    /// time above [`crate::session::REBUFFER_EPSILON_SECS`]).
+    pub rebuffer_probability: f64,
+    /// Mean rebuffering time per session, in seconds.
+    pub avg_rebuffer_secs: f64,
+    /// Fraction of requested bytes served from the cache (prefix bytes
+    /// over total session bytes).
+    pub traffic_reduction_ratio: f64,
+    /// Total bytes fetched from the origin.
+    pub origin_bytes_total: f64,
+    /// Origin egress over time: bytes fetched per fixed-width bin spanning
+    /// `[0, horizon_secs]` (transfers outlasting the horizon land in the
+    /// last bin, so the bins sum to `origin_bytes_total`).
+    pub egress_bins_bytes: Vec<f64>,
+    /// The observation horizon: the end of the last playback window.
+    pub horizon_secs: f64,
+}
+
+impl SessionMetrics {
+    /// Aggregates the final session states of one run.
+    pub(crate) fn from_sessions(
+        states: &[SessionState],
+        viewer_seconds: f64,
+        peak_concurrent_viewers: u64,
+        horizon_secs: f64,
+        egress_bins_bytes: Vec<f64>,
+    ) -> SessionMetrics {
+        let n = states.len() as f64;
+        let rebuffered = states
+            .iter()
+            .filter(|s| s.rebuffer_secs > crate::session::REBUFFER_EPSILON_SECS)
+            .count();
+        let total_rebuffer: f64 = states.iter().map(|s| s.rebuffer_secs).sum();
+        let bytes_requested: f64 = states.iter().map(|s| s.spec.size_bytes).sum();
+        let bytes_from_cache: f64 = states.iter().map(|s| s.prefix_bytes).sum();
+        let origin_bytes_total: f64 = states.iter().map(|s| s.downloaded_bytes).sum();
+        SessionMetrics {
+            sessions: states.len() as u64,
+            viewer_seconds,
+            avg_concurrent_viewers: if horizon_secs > 0.0 {
+                viewer_seconds / horizon_secs
+            } else {
+                0.0
+            },
+            peak_concurrent_viewers,
+            rebuffer_probability: if states.is_empty() {
+                0.0
+            } else {
+                rebuffered as f64 / n
+            },
+            avg_rebuffer_secs: if states.is_empty() {
+                0.0
+            } else {
+                total_rebuffer / n
+            },
+            traffic_reduction_ratio: if bytes_requested > 0.0 {
+                bytes_from_cache / bytes_requested
+            } else {
+                0.0
+            },
+            origin_bytes_total,
+            egress_bins_bytes,
+            horizon_secs,
+        }
+    }
+
+    /// Averages a set of per-run session metrics element-wise, including
+    /// the egress bins (runs are expected to share a bin count; shorter
+    /// runs contribute zero to the missing tail bins). Returns the default
+    /// metrics when `runs` is empty.
+    pub fn average(runs: &[SessionMetrics]) -> SessionMetrics {
+        if runs.is_empty() {
+            return SessionMetrics::default();
+        }
+        let n = runs.len() as f64;
+        let bins = runs
+            .iter()
+            .map(|m| m.egress_bins_bytes.len())
+            .max()
+            .unwrap_or(0);
+        let mut egress_bins_bytes = vec![0.0; bins];
+        for m in runs {
+            for (acc, &b) in egress_bins_bytes.iter_mut().zip(&m.egress_bins_bytes) {
+                *acc += b / n;
+            }
+        }
+        SessionMetrics {
+            sessions: (runs.iter().map(|m| m.sessions).sum::<u64>() as f64 / n).round() as u64,
+            viewer_seconds: runs.iter().map(|m| m.viewer_seconds).sum::<f64>() / n,
+            avg_concurrent_viewers: runs.iter().map(|m| m.avg_concurrent_viewers).sum::<f64>() / n,
+            peak_concurrent_viewers: (runs.iter().map(|m| m.peak_concurrent_viewers).sum::<u64>()
+                as f64
+                / n)
+                .round() as u64,
+            rebuffer_probability: runs.iter().map(|m| m.rebuffer_probability).sum::<f64>() / n,
+            avg_rebuffer_secs: runs.iter().map(|m| m.avg_rebuffer_secs).sum::<f64>() / n,
+            traffic_reduction_ratio: runs.iter().map(|m| m.traffic_reduction_ratio).sum::<f64>()
+                / n,
+            origin_bytes_total: runs.iter().map(|m| m.origin_bytes_total).sum::<f64>() / n,
+            egress_bins_bytes,
+            horizon_secs: runs.iter().map(|m| m.horizon_secs).sum::<f64>() / n,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +303,45 @@ mod tests {
         assert!((avg.avg_stream_quality - 0.8).abs() < 1e-12);
         assert!((avg.total_added_value - 200.0).abs() < 1e-12);
         assert_eq!(Metrics::average(&[]), Metrics::default());
+    }
+
+    #[test]
+    fn session_metrics_average_is_element_wise() {
+        let a = SessionMetrics {
+            sessions: 10,
+            viewer_seconds: 100.0,
+            avg_concurrent_viewers: 2.0,
+            peak_concurrent_viewers: 4,
+            rebuffer_probability: 0.2,
+            avg_rebuffer_secs: 1.0,
+            traffic_reduction_ratio: 0.3,
+            origin_bytes_total: 1_000.0,
+            egress_bins_bytes: vec![600.0, 400.0],
+            horizon_secs: 50.0,
+        };
+        let b = SessionMetrics {
+            sessions: 20,
+            viewer_seconds: 300.0,
+            avg_concurrent_viewers: 4.0,
+            peak_concurrent_viewers: 8,
+            rebuffer_probability: 0.4,
+            avg_rebuffer_secs: 3.0,
+            traffic_reduction_ratio: 0.5,
+            origin_bytes_total: 3_000.0,
+            egress_bins_bytes: vec![1_000.0, 2_000.0],
+            horizon_secs: 70.0,
+        };
+        let avg = SessionMetrics::average(&[a, b]);
+        assert_eq!(avg.sessions, 15);
+        assert!((avg.viewer_seconds - 200.0).abs() < 1e-12);
+        assert!((avg.avg_concurrent_viewers - 3.0).abs() < 1e-12);
+        assert_eq!(avg.peak_concurrent_viewers, 6);
+        assert!((avg.rebuffer_probability - 0.3).abs() < 1e-12);
+        assert!((avg.avg_rebuffer_secs - 2.0).abs() < 1e-12);
+        assert!((avg.traffic_reduction_ratio - 0.4).abs() < 1e-12);
+        assert!((avg.origin_bytes_total - 2_000.0).abs() < 1e-12);
+        assert_eq!(avg.egress_bins_bytes, vec![800.0, 1_200.0]);
+        assert!((avg.horizon_secs - 60.0).abs() < 1e-12);
+        assert_eq!(SessionMetrics::average(&[]), SessionMetrics::default());
     }
 }

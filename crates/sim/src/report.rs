@@ -1,6 +1,6 @@
 //! Structured experiment results and plain-text report formatting.
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SessionMetrics};
 use std::fmt::Write as _;
 
 /// One measured point of a figure: an x-coordinate (cache fraction,
@@ -101,6 +101,105 @@ impl FigureResult {
     }
 }
 
+/// One measured point of a session-mode figure: an x-coordinate plus the
+/// averaged time-weighted session metrics at that point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionFigurePoint {
+    /// The x-axis value.
+    pub x: f64,
+    /// Averaged session metrics at this point.
+    pub metrics: SessionMetrics,
+}
+
+/// One curve of a session-mode figure (e.g. one caching policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionFigureSeries {
+    /// Curve label (usually the policy name).
+    pub label: String,
+    /// Points in increasing x order.
+    pub points: Vec<SessionFigurePoint>,
+}
+
+impl SessionFigureSeries {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        SessionFigureSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, metrics: SessionMetrics) {
+        self.points.push(SessionFigurePoint { x, metrics });
+    }
+}
+
+/// A complete session-mode figure: metadata plus one or more series of
+/// [`SessionMetrics`] points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionFigureResult {
+    /// Identifier, e.g. `"fig_sessions"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Meaning of the x-axis.
+    pub x_label: String,
+    /// The measured series.
+    pub series: Vec<SessionFigureSeries>,
+}
+
+impl SessionFigureResult {
+    /// Creates an empty session figure result.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
+        SessionFigureResult {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&SessionFigureSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the result as an aligned plain-text table, one row per
+    /// (series, x) pair, with one column per session metric.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>10} {:>6} {:>10} {:>12} {:>14}",
+            "series", self.x_label, "traffic", "viewers", "peak", "rebuf", "rebuf(s)", "origin(GB)"
+        );
+        for series in &self.series {
+            for p in &series.points {
+                let m = &p.metrics;
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>10.4} {:>10.4} {:>10.2} {:>6} {:>10.4} {:>12.2} {:>14.3}",
+                    series.label,
+                    p.x,
+                    m.traffic_reduction_ratio,
+                    m.avg_concurrent_viewers,
+                    m.peak_concurrent_viewers,
+                    m.rebuffer_probability,
+                    m.avg_rebuffer_secs,
+                    m.origin_bytes_total / 1e9
+                );
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +238,36 @@ mod tests {
         assert!(table.contains("fig9"));
         assert!(table.contains("PB(e)"));
         assert!(table.contains("42.00"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn session_figure_series_lookup_and_table() {
+        let mut fig =
+            SessionFigureResult::new("fig_sessions", "Session contention", "cache fraction");
+        let mut pb = SessionFigureSeries::new("PB");
+        pb.push(
+            0.05,
+            SessionMetrics {
+                sessions: 1_000,
+                viewer_seconds: 5e5,
+                avg_concurrent_viewers: 12.5,
+                peak_concurrent_viewers: 40,
+                rebuffer_probability: 0.125,
+                avg_rebuffer_secs: 3.25,
+                traffic_reduction_ratio: 0.2,
+                origin_bytes_total: 2.5e9,
+                egress_bins_bytes: vec![1.5e9, 1e9],
+                horizon_secs: 4e4,
+            },
+        );
+        fig.series.push(pb);
+        assert!(fig.series("PB").is_some());
+        assert!(fig.series("LRU").is_none());
+        let table = fig.to_table();
+        assert!(table.contains("fig_sessions"));
+        assert!(table.contains("0.1250"));
+        assert!(table.contains("2.500"));
         assert!(table.lines().count() >= 3);
     }
 }

@@ -15,7 +15,8 @@
 
 use crate::config::{SimError, SimulationConfig};
 use crate::exec::{run_grid, ParallelExecutor, SimWorker};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SessionMetrics};
+use crate::session::{run_session_grid, SessionRunResult, SessionWorker};
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +99,75 @@ pub fn run_comparison_with(
     executor: &ParallelExecutor,
 ) -> Result<Vec<Metrics>, SimError> {
     run_grid(configs, runs, executor)
+}
+
+/// Runs a single **session-mode** simulation described by `config`: the
+/// discrete-event core of [`crate::session`], where sessions span their
+/// playback duration and share per-path bottleneck bandwidth.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the configuration is invalid.
+pub fn run_sessions(config: &SimulationConfig) -> Result<SessionRunResult, SimError> {
+    SessionWorker::new(*config, config.seed).run()
+}
+
+/// Session-mode analogue of [`run_replicated`]: `runs` replicated
+/// session simulations (seeds `seed`, `seed + 1`, …), averaged.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRuns`] when `runs` is zero, or any validation
+/// error of the underlying configuration.
+pub fn run_sessions_replicated(
+    config: &SimulationConfig,
+    runs: usize,
+) -> Result<SessionMetrics, SimError> {
+    run_sessions_replicated_with(config, runs, &ParallelExecutor::from_env())
+}
+
+/// [`run_sessions_replicated`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRuns`] when `runs` is zero, or any validation
+/// error of the underlying configuration.
+pub fn run_sessions_replicated_with(
+    config: &SimulationConfig,
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<SessionMetrics, SimError> {
+    let mut metrics = run_session_grid(std::slice::from_ref(config), runs, executor)?;
+    Ok(metrics.pop().expect("one configuration yields one average"))
+}
+
+/// Session-mode analogue of [`run_comparison`]: paired comparison of
+/// several configurations over shared workloads, returning one averaged
+/// [`SessionMetrics`] per configuration, in order.
+///
+/// # Errors
+///
+/// Propagates validation errors; returns [`SimError::NoRuns`] when `runs`
+/// is zero.
+pub fn run_session_comparison(
+    configs: &[SimulationConfig],
+    runs: usize,
+) -> Result<Vec<SessionMetrics>, SimError> {
+    run_session_comparison_with(configs, runs, &ParallelExecutor::from_env())
+}
+
+/// [`run_session_comparison`] with an explicit executor (thread count).
+///
+/// # Errors
+///
+/// Propagates validation errors; returns [`SimError::NoRuns`] when `runs`
+/// is zero.
+pub fn run_session_comparison_with(
+    configs: &[SimulationConfig],
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Vec<SessionMetrics>, SimError> {
+    run_session_grid(configs, runs, executor)
 }
 
 #[cfg(test)]
@@ -197,6 +267,29 @@ mod tests {
             metrics[0].traffic_reduction_ratio,
             metrics[1].traffic_reduction_ratio
         );
+    }
+
+    #[test]
+    fn session_mode_entry_points_run_and_average() {
+        let cfg = small(PolicyKind::PartialBandwidth, 0.05);
+        let single = run_sessions(&cfg).unwrap();
+        assert_eq!(single.metrics.sessions, 5_000);
+        let avg = run_sessions_replicated(&cfg, 2).unwrap();
+        assert_eq!(avg.sessions, 5_000);
+        assert!(avg.viewer_seconds > 0.0);
+        assert!(matches!(
+            run_sessions_replicated(&cfg, 0),
+            Err(SimError::NoRuns)
+        ));
+        let compared =
+            run_session_comparison(&[cfg, small(PolicyKind::IntegralBandwidth, 0.05)], 1).unwrap();
+        assert_eq!(compared.len(), 2);
+        // Paired comparison: identical workloads, so the viewer curves
+        // agree up to float accumulation order (the policies split the
+        // integral at different event instants).
+        let (a, b) = (compared[0].viewer_seconds, compared[1].viewer_seconds);
+        assert!((a - b).abs() / a < 1e-12, "{a} vs {b}");
+        assert_eq!(compared[0].sessions, compared[1].sessions);
     }
 
     #[test]

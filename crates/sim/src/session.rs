@@ -1,0 +1,1008 @@
+//! The session-level discrete-event core: overlapping streaming sessions
+//! sharing bottleneck links.
+//!
+//! The per-request simulator ([`crate::SimWorker`]) treats every request as
+//! an isolated bandwidth draw. Real streaming load is different: a session
+//! spans its playback duration, and all sessions fetching from the same
+//! origin share that path's bottleneck capacity. This module adds that
+//! contention axis as a separate, golden-pinned-path-preserving mode:
+//!
+//! * **Processor sharing** — a path with capacity `C` and `n` sessions
+//!   actively transferring gives each session `C / n` bytes per second.
+//!   Every arrival on and departure from the path re-divides the capacity
+//!   and re-schedules all affected completion events (cancel + re-push on
+//!   the [`EventQueue`]).
+//! * **Fluid sessions** — between events every session's download and
+//!   playback-buffer state evolve piecewise-linearly, so
+//!   [`SessionState::advance`] integrates them in closed form. A session
+//!   rebuffers whenever its cumulative playback demand exceeds the bytes
+//!   available (cached prefix + downloaded so far).
+//! * **Time-weighted metrics** ([`SessionMetrics`]) — concurrent-viewer
+//!   curves, rebuffer probability, and origin egress binned over time.
+//!
+//! # Determinism contract
+//!
+//! A run is a pure function of `(configuration, seed)`, byte-identical at
+//! any `SC_SIM_THREADS` (parallelism only shards independent runs, as in
+//! the per-request mode). Within a run the event order is total:
+//! `(time, sequence)` with sequences assigned at schedule time, and every
+//! path re-division iterates its member sessions in ascending session
+//! index. The naive fluid reference model in
+//! `crates/sim/tests/session_reference.rs` replays the same contract
+//! without the heap or the incremental bookkeeping and must match bitwise.
+
+use crate::bandwidth::{BandwidthProvider, EstimatorBank};
+use crate::config::{SimError, SimulationConfig};
+use crate::event::{EventKind, EventQueue};
+use crate::exec::{bandwidth_seed, run_grid_with, GridRunner, ParallelExecutor, SharedWorkload};
+use crate::metrics::SessionMetrics;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_cache::policy::UtilityPolicy;
+use sc_cache::CacheEngine;
+use std::sync::Arc;
+
+/// One streaming session to simulate: a path (bottleneck link) index plus
+/// the arrival instant and playback characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSpec {
+    /// Index of the bottleneck path (== the object's catalog index in the
+    /// workload-driven mode).
+    pub path: u32,
+    /// Arrival time on the simulation clock, in seconds.
+    pub arrival_secs: f64,
+    /// Playback duration in seconds.
+    pub duration_secs: f64,
+    /// CBR encoding rate in bytes per second.
+    pub rate_bps: f64,
+    /// Total object size in bytes.
+    pub size_bytes: f64,
+}
+
+/// Callbacks connecting the contention core to the caching layer.
+///
+/// The event loop is cache-agnostic: at each arrival it asks the hooks how
+/// many prefix bytes the cache serves instantly, and at each completed
+/// origin transfer it reports the realised throughput (the input of the
+/// passive bandwidth estimators). [`NoCacheHooks`] is the trivial
+/// implementation used by pure-contention tests.
+pub trait SessionHooks {
+    /// Called once per session, in event order, when the session arrives.
+    ///
+    /// `share_bps` is the processor-sharing bandwidth the session would
+    /// receive if it joined its path now (capacity divided by the member
+    /// count including itself) — what an active probe would measure.
+    /// Returns the prefix bytes served from the cache; the core clamps the
+    /// value into `[0, size_bytes]`.
+    fn on_arrival(&mut self, index: usize, spec: &SessionSpec, share_bps: f64) -> f64;
+
+    /// Called when a session's origin transfer completes, with the mean
+    /// throughput the transfer achieved. Sessions served entirely from the
+    /// cache never report (a full hit reveals nothing about the path).
+    fn on_transfer_complete(&mut self, index: usize, spec: &SessionSpec, throughput_bps: f64) {
+        let _ = (index, spec, throughput_bps);
+    }
+}
+
+/// Hooks for cache-less contention scenarios: no prefix is ever cached.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCacheHooks;
+
+impl SessionHooks for NoCacheHooks {
+    fn on_arrival(&mut self, _index: usize, _spec: &SessionSpec, _share_bps: f64) -> f64 {
+        0.0
+    }
+}
+
+/// Origin egress accumulated into fixed-width time bins.
+///
+/// Bytes downloaded during `[from, to]` are spread uniformly over the bins
+/// the interval overlaps; time at or beyond the horizon lands in the last
+/// bin, so the bins always sum to the total origin bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgressAccumulator {
+    bins: Vec<f64>,
+    horizon_secs: f64,
+}
+
+impl EgressAccumulator {
+    /// Creates `bins` zeroed bins spanning `[0, horizon_secs]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn new(bins: usize, horizon_secs: f64) -> Self {
+        assert!(bins > 0, "egress accumulation needs at least one bin");
+        EgressAccumulator {
+            bins: vec![0.0; bins],
+            horizon_secs: horizon_secs.max(0.0),
+        }
+    }
+
+    /// Adds `bytes` transferred uniformly over `[from, to]`.
+    pub fn add(&mut self, from: f64, to: f64, bytes: f64) {
+        if bytes <= 0.0 {
+            return;
+        }
+        let n = self.bins.len();
+        let width = self.horizon_secs / n as f64;
+        // `horizon_secs` is clamped non-negative (and `f64::max` drops a
+        // NaN), so `width` is a plain non-negative value here.
+        if width <= 0.0 || to <= from {
+            // Degenerate horizon or instantaneous transfer: lump the bytes
+            // into the bin of the starting instant.
+            let idx = self.index_of(from, width);
+            self.bins[idx] += bytes;
+            return;
+        }
+        let span = to - from;
+        let first = self.index_of(from, width);
+        let last = self.index_of(to, width);
+        for idx in first..=last {
+            let bin_start = idx as f64 * width;
+            let bin_end = if idx + 1 == n {
+                f64::INFINITY
+            } else {
+                (idx + 1) as f64 * width
+            };
+            // Adjacent bins cut the interval at the identical float
+            // boundary value, so the segments telescope to exactly `span`.
+            let seg = (to.min(bin_end) - from.max(bin_start)).max(0.0);
+            self.bins[idx] += bytes * (seg / span);
+        }
+    }
+
+    fn index_of(&self, t: f64, width: f64) -> usize {
+        if width > 0.0 {
+            ((t / width) as usize).min(self.bins.len() - 1)
+        } else {
+            0
+        }
+    }
+
+    /// The accumulated bins.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Consumes the accumulator, returning the bins.
+    pub fn into_bins(self) -> Vec<f64> {
+        self.bins
+    }
+}
+
+/// The evolving state of one session.
+///
+/// Public so the naive fluid reference model can drive the *identical*
+/// closed-form integration ([`SessionState::advance`]) while independently
+/// re-deriving shares and completion times from scratch — the bitwise
+/// cross-check then isolates the event core's scheduling and bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionState {
+    /// The static description of the session.
+    pub spec: SessionSpec,
+    /// Prefix bytes served from the cache at arrival.
+    pub prefix_bytes: f64,
+    /// Bytes that must come from the origin (`size - prefix`).
+    pub origin_bytes: f64,
+    /// Origin bytes downloaded so far.
+    pub downloaded_bytes: f64,
+    /// Current processor-sharing allocation, in bytes per second (0 when
+    /// not transferring).
+    pub share_bps: f64,
+    /// Simulation time up to which this state has been integrated.
+    pub last_update_secs: f64,
+    /// Accumulated time during which the playback buffer was drained
+    /// (cumulative demand exceeded available bytes), in seconds.
+    pub rebuffer_secs: f64,
+    /// Whether the session currently holds a share on its path.
+    pub transferring: bool,
+    /// Time the origin transfer finished (the arrival time for full hits);
+    /// `NaN` until then.
+    pub transfer_end_secs: f64,
+}
+
+impl SessionState {
+    /// A session that has just arrived with `prefix_bytes` served from the
+    /// cache.
+    pub fn begin(spec: SessionSpec, prefix_bytes: f64) -> Self {
+        let prefix = prefix_bytes.clamp(0.0, spec.size_bytes);
+        SessionState {
+            spec,
+            prefix_bytes: prefix,
+            origin_bytes: spec.size_bytes - prefix,
+            downloaded_bytes: 0.0,
+            share_bps: 0.0,
+            last_update_secs: spec.arrival_secs,
+            rebuffer_secs: 0.0,
+            transferring: false,
+            transfer_end_secs: f64::NAN,
+        }
+    }
+
+    /// Integrates the session from its last update instant to `to`:
+    /// advances the origin download at the current share, accumulates
+    /// playback-buffer drain time, and attributes the downloaded bytes to
+    /// `egress`.
+    ///
+    /// Both the event core and the naive reference model call exactly this
+    /// function at exactly the same instants, which is what makes their
+    /// outputs bitwise comparable.
+    pub fn advance(&mut self, to: f64, egress: &mut EgressAccumulator) {
+        let from = self.last_update_secs;
+        if to <= from {
+            return;
+        }
+        let rate = if self.transferring {
+            self.share_bps
+        } else {
+            0.0
+        };
+
+        // Rebuffer accumulation is confined to the playback window: the
+        // buffer deficit f(t) = demand(t) - available(t) is linear between
+        // events, so the time spent with f > 0 has a closed form.
+        let play_end = self.spec.arrival_secs + self.spec.duration_secs;
+        let rb_end = to.min(play_end);
+        if rb_end > from {
+            let f0 = self.spec.rate_bps * (from - self.spec.arrival_secs)
+                - (self.prefix_bytes + self.downloaded_bytes);
+            let slope = self.spec.rate_bps - rate;
+            self.rebuffer_secs += positive_measure(f0, slope, rb_end - from);
+        }
+
+        if self.transferring && rate > 0.0 {
+            let before = self.downloaded_bytes;
+            self.downloaded_bytes = (before + rate * (to - from)).min(self.origin_bytes);
+            egress.add(from, to, self.downloaded_bytes - before);
+        }
+        self.last_update_secs = to;
+    }
+
+    /// Origin bytes still to download.
+    pub fn remaining_bytes(&self) -> f64 {
+        (self.origin_bytes - self.downloaded_bytes).max(0.0)
+    }
+}
+
+/// Stall durations at or below this threshold are float-accumulation dust,
+/// not model predictions, and do not count a session as rebuffered.
+///
+/// The buffer deficit compares `rate · elapsed` (one multiplication)
+/// against the downloaded bytes (a sum of `share · dt` segments); when the
+/// two are mathematically equal, rounding can leave a residue of a few ulps
+/// — observed around 1e-14 s — which would otherwise flip whole sessions
+/// into the rebuffer-probability numerator under exactly-sufficient
+/// capacity. A nanosecond is five orders of magnitude above that dust and
+/// far below any stall a viewer (or the fluid model, at meaningfully scarce
+/// capacity) can produce. `SessionFinal::rebuffer_secs` stays raw.
+pub const REBUFFER_EPSILON_SECS: f64 = 1e-9;
+
+/// Length of the sub-interval of `[0, len]` on which the linear function
+/// `f0 + slope · x` is strictly positive.
+fn positive_measure(f0: f64, slope: f64, len: f64) -> f64 {
+    if slope == 0.0 {
+        return if f0 > 0.0 { len } else { 0.0 };
+    }
+    let root = (-f0 / slope).clamp(0.0, len);
+    if slope > 0.0 {
+        len - root
+    } else {
+        root
+    }
+}
+
+/// Per-session final state, exposed for the reference cross-check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionFinal {
+    /// Prefix bytes the cache served at arrival.
+    pub prefix_bytes: f64,
+    /// Origin bytes downloaded (equals `size - prefix` once complete).
+    pub downloaded_bytes: f64,
+    /// Accumulated playback-buffer drain time in seconds.
+    pub rebuffer_secs: f64,
+    /// Time the origin transfer finished.
+    pub transfer_end_secs: f64,
+}
+
+/// Everything a session simulation produces: the aggregate time-weighted
+/// metrics plus the per-session final states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSimOutput {
+    /// Aggregate time-weighted metrics.
+    pub metrics: SessionMetrics,
+    /// Final state of session `i` at index `i` (spec order).
+    pub finals: Vec<SessionFinal>,
+}
+
+/// Runs the discrete-event session simulation over `specs`.
+///
+/// `capacity` maps `(path, time)` to the path's bottleneck capacity in
+/// bytes per second — it must be positive and finite whenever the path has
+/// an active session. `egress_bins` sets the resolution of the
+/// origin-egress-over-time curve.
+///
+/// Sessions must be given in non-decreasing arrival order (the order their
+/// arrival events are scheduled, hence the tie-break order for
+/// simultaneous arrivals).
+///
+/// ```
+/// use sc_sim::session::{simulate_sessions, NoCacheHooks, SessionSpec};
+///
+/// // Two overlapping sessions on one 50 KB/s path, 100 s × 48 KB/s each:
+/// // alone each would keep up, but while both transfer each gets 25 KB/s.
+/// let spec = |t| SessionSpec {
+///     path: 0,
+///     arrival_secs: t,
+///     duration_secs: 100.0,
+///     rate_bps: 48_000.0,
+///     size_bytes: 4_800_000.0,
+/// };
+/// let out = simulate_sessions(&[spec(0.0), spec(10.0)], 1, |_, _| 50_000.0,
+///                             &mut NoCacheHooks, 8);
+/// assert_eq!(out.metrics.sessions, 2);
+/// assert!(out.metrics.rebuffer_probability > 0.0);
+/// assert_eq!(out.metrics.peak_concurrent_viewers, 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `specs` is not sorted by arrival time, a spec's path index is
+/// not below `n_paths`, or `capacity` returns a non-positive or non-finite
+/// value for a path with active sessions.
+pub fn simulate_sessions<C, H>(
+    specs: &[SessionSpec],
+    n_paths: usize,
+    capacity: C,
+    hooks: &mut H,
+    egress_bins: usize,
+) -> SessionSimOutput
+where
+    C: Fn(usize, f64) -> f64,
+    H: SessionHooks + ?Sized,
+{
+    assert!(
+        specs
+            .windows(2)
+            .all(|w| w[0].arrival_secs <= w[1].arrival_secs),
+        "session specs must be sorted by arrival time"
+    );
+    assert!(
+        specs.iter().all(|s| (s.path as usize) < n_paths),
+        "session path index out of range"
+    );
+
+    // The observation horizon: the end of the last playback window. Egress
+    // from transfers that outlast it is clamped into the final bin.
+    let horizon_secs = specs
+        .iter()
+        .map(|s| s.arrival_secs + s.duration_secs)
+        .fold(0.0_f64, f64::max);
+    let mut egress = EgressAccumulator::new(egress_bins, horizon_secs);
+
+    let mut queue = EventQueue::new();
+    for spec in specs {
+        queue.push(spec.arrival_secs, EventKind::Arrival(0));
+    }
+    // Arrival events carry their index implicitly: they were pushed in spec
+    // order, so seq == spec index for the first `specs.len()` sequences.
+    // (EventKind still stores an index for the completion/playback events;
+    // arrivals resolve theirs from the seq instead, which keeps the
+    // pre-scheduling loop allocation-free.)
+
+    let mut states: Vec<SessionState> = Vec::with_capacity(specs.len());
+    // seq of the pending TransferComplete event per started session.
+    let mut completion_seq: Vec<Option<u64>> = Vec::with_capacity(specs.len());
+    // Active (transferring) session indices per path, ascending — the
+    // iteration order of every re-division, part of the determinism
+    // contract shared with the reference model.
+    let mut path_members: Vec<Vec<u32>> = vec![Vec::new(); n_paths];
+
+    let mut viewers: u64 = 0;
+    let mut peak_viewers: u64 = 0;
+    let mut viewer_seconds = 0.0;
+    let mut last_event_secs = 0.0;
+
+    while let Some(event) = queue.pop() {
+        viewer_seconds += viewers as f64 * (event.time_secs - last_event_secs);
+        last_event_secs = event.time_secs;
+        let now = event.time_secs;
+
+        match event.kind {
+            EventKind::Arrival(_) => {
+                let index = event.seq as usize;
+                let spec = &specs[index];
+                let path = spec.path as usize;
+
+                let cap = capacity(path, now);
+                assert!(
+                    cap.is_finite() && cap > 0.0,
+                    "path {path} capacity must be positive and finite, got {cap}"
+                );
+                let share_if_joined = cap / (path_members[path].len() + 1) as f64;
+                let prefix = hooks.on_arrival(index, spec, share_if_joined);
+
+                debug_assert_eq!(states.len(), index);
+                let mut state = SessionState::begin(*spec, prefix);
+                viewers += 1;
+                peak_viewers = peak_viewers.max(viewers);
+                queue.push(
+                    spec.arrival_secs + spec.duration_secs,
+                    EventKind::PlaybackEnd(index as u32),
+                );
+
+                if state.origin_bytes > 0.0 {
+                    state.transferring = true;
+                    states.push(state);
+                    completion_seq.push(None);
+                    // Bring the existing members up to now at their old
+                    // shares, admit the newcomer (highest index, so the
+                    // member list stays ascending), then re-divide.
+                    advance_path(&path_members[path], &mut states, now, &mut egress);
+                    path_members[path].push(index as u32);
+                    reshare_path(
+                        &path_members[path],
+                        &mut states,
+                        &mut completion_seq,
+                        &mut queue,
+                        cap,
+                        now,
+                    );
+                } else {
+                    // Full cache hit: no origin transfer at all.
+                    state.transfer_end_secs = now;
+                    states.push(state);
+                    completion_seq.push(None);
+                }
+            }
+            EventKind::TransferComplete(s) => {
+                let index = s as usize;
+                // Stale completions are cancelled inside the queue, so
+                // every popped completion is live.
+                completion_seq[index] = None;
+                let path = states[index].spec.path as usize;
+                advance_path(&path_members[path], &mut states, now, &mut egress);
+
+                let state = &mut states[index];
+                state.downloaded_bytes = state.origin_bytes;
+                state.transferring = false;
+                state.share_bps = 0.0;
+                state.transfer_end_secs = now;
+                let elapsed = now - state.spec.arrival_secs;
+                let origin = state.origin_bytes;
+                let spec = state.spec;
+                if elapsed > 0.0 {
+                    hooks.on_transfer_complete(index, &spec, origin / elapsed);
+                }
+
+                let members = &mut path_members[path];
+                let pos = members
+                    .iter()
+                    .position(|&m| m == s)
+                    .expect("completing session is a path member");
+                members.remove(pos);
+                if !members.is_empty() {
+                    let cap = capacity(path, now);
+                    assert!(
+                        cap.is_finite() && cap > 0.0,
+                        "path {path} capacity must be positive and finite, got {cap}"
+                    );
+                    reshare_path(
+                        &path_members[path],
+                        &mut states,
+                        &mut completion_seq,
+                        &mut queue,
+                        cap,
+                        now,
+                    );
+                }
+            }
+            EventKind::PlaybackEnd(s) => {
+                // Integrate the tail of the playback window (rebuffer time
+                // never accrues past it) before the viewer departs.
+                states[s as usize].advance(now, &mut egress);
+                viewers -= 1;
+            }
+        }
+    }
+
+    let finals: Vec<SessionFinal> = states
+        .iter()
+        .map(|s| SessionFinal {
+            prefix_bytes: s.prefix_bytes,
+            downloaded_bytes: s.downloaded_bytes,
+            rebuffer_secs: s.rebuffer_secs,
+            transfer_end_secs: s.transfer_end_secs,
+        })
+        .collect();
+
+    let metrics = SessionMetrics::from_sessions(
+        &states,
+        viewer_seconds,
+        peak_viewers,
+        horizon_secs,
+        egress.into_bins(),
+    );
+    SessionSimOutput { metrics, finals }
+}
+
+/// Integrates every member of a path up to `now` at its current share.
+fn advance_path(
+    members: &[u32],
+    states: &mut [SessionState],
+    now: f64,
+    egress: &mut EgressAccumulator,
+) {
+    for &m in members {
+        states[m as usize].advance(now, egress);
+    }
+}
+
+/// Re-divides a path's capacity among its members (already advanced to
+/// `now`) and re-schedules each member's completion event.
+fn reshare_path(
+    members: &[u32],
+    states: &mut [SessionState],
+    completion_seq: &mut [Option<u64>],
+    queue: &mut EventQueue,
+    capacity_bps: f64,
+    now: f64,
+) {
+    let share = capacity_bps / members.len() as f64;
+    for &m in members {
+        let state = &mut states[m as usize];
+        state.share_bps = share;
+        if let Some(seq) = completion_seq[m as usize].take() {
+            queue.cancel(seq);
+        }
+        let completes = now + state.remaining_bytes() / share;
+        completion_seq[m as usize] = Some(queue.push(completes, EventKind::TransferComplete(m)));
+    }
+}
+
+/// Result of one session-mode simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRunResult {
+    /// Time-weighted session metrics over the whole run.
+    pub metrics: SessionMetrics,
+    /// Bytes held in the cache at the end of the run.
+    pub final_cache_used_bytes: f64,
+    /// Number of distinct objects (fully or partially) cached at the end.
+    pub final_cached_objects: usize,
+}
+
+/// The self-contained body of one session-mode run, mirroring
+/// [`crate::SimWorker`]: a configuration, a run seed, and optionally a
+/// pre-generated shared workload.
+#[derive(Debug, Clone)]
+pub struct SessionWorker {
+    config: SimulationConfig,
+    seed: u64,
+    workload: Option<Arc<SharedWorkload>>,
+}
+
+/// The cache + estimator hooks of the workload-driven session mode.
+struct CacheHooks<'a> {
+    cache: &'a mut CacheEngine<Box<dyn UtilityPolicy + Send + Sync>>,
+    estimators: &'a mut EstimatorBank,
+    provider: &'a BandwidthProvider,
+    metas: &'a [sc_cache::ObjectMeta],
+}
+
+impl SessionHooks for CacheHooks<'_> {
+    fn on_arrival(&mut self, _index: usize, spec: &SessionSpec, share_bps: f64) -> f64 {
+        let path = spec.path as usize;
+        let meta = &self.metas[path];
+        let oracle = self.provider.estimated_bps(path);
+        // The estimator's "current bandwidth" is the fair share this
+        // session would get — what an active probe observes under
+        // contention.
+        let estimated = self.estimators.decision_bps(path, oracle, share_bps);
+        let outcome = self.cache.on_access_slot(spec.path, meta, estimated);
+        outcome.cached_bytes_before
+    }
+
+    fn on_transfer_complete(&mut self, _index: usize, spec: &SessionSpec, throughput_bps: f64) {
+        self.estimators
+            .observe_transfer(spec.path as usize, throughput_bps);
+    }
+}
+
+impl SessionWorker {
+    /// A worker that generates its own workload from `config.workload`
+    /// (with the seed overridden by `seed`).
+    pub fn new(config: SimulationConfig, seed: u64) -> Self {
+        SessionWorker {
+            config,
+            seed,
+            workload: None,
+        }
+    }
+
+    /// A worker running over a pre-generated workload (see
+    /// [`crate::SimWorker::with_workload`] for the seed contract).
+    pub fn with_workload(
+        config: SimulationConfig,
+        seed: u64,
+        workload: Arc<SharedWorkload>,
+    ) -> Self {
+        SessionWorker {
+            config,
+            seed,
+            workload: Some(workload),
+        }
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Executes the session-mode simulation run.
+    ///
+    /// Unlike the per-request mode, session metrics are time-weighted over
+    /// the whole trace; `warmup_fraction` is a per-request-mode concept and
+    /// is ignored here (the contention transient *is* part of the measured
+    /// signal).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the configuration is invalid.
+    pub fn run(&self) -> Result<SessionRunResult, SimError> {
+        let config = &self.config;
+        config.validate()?;
+        let generated;
+        let shared = match &self.workload {
+            Some(shared) => shared.as_ref(),
+            None => {
+                generated = SharedWorkload::generate(&config.workload, self.seed)?;
+                &generated
+            }
+        };
+        let (catalog, trace) = (&shared.catalog, &shared.trace);
+        let metas = shared.metas();
+
+        let specs: Vec<SessionSpec> = trace
+            .session_arrivals(catalog)
+            .into_iter()
+            .map(|s| SessionSpec {
+                path: s.object.as_u32(),
+                arrival_secs: s.time_secs,
+                duration_secs: s.duration_secs,
+                rate_bps: s.bitrate_bps,
+                size_bytes: s.size_bytes,
+            })
+            .collect();
+
+        // Same bandwidth-state derivation as the per-request mode: the
+        // provider spans the trace, seeded independently of workload
+        // generation.
+        let mut bw_rng = StdRng::seed_from_u64(bandwidth_seed(self.seed));
+        let provider_horizon = trace.requests().last().map_or(0.0, |r| r.time_secs);
+        let provider = BandwidthProvider::generate_with_model(
+            catalog.len(),
+            config.variability,
+            config.bandwidth_model,
+            provider_horizon,
+            &mut bw_rng,
+        );
+        let mut estimators = EstimatorBank::new(config.estimator, catalog.len());
+
+        let mut cache = CacheEngine::new(config.cache_size_bytes, config.policy.build())
+            .map_err(|e| SimError::Workload(e.to_string()))?;
+        cache.ensure_slots(catalog.len());
+
+        let mut hooks = CacheHooks {
+            cache: &mut cache,
+            estimators: &mut estimators,
+            provider: &provider,
+            metas,
+        };
+        let output = simulate_sessions(
+            &specs,
+            catalog.len(),
+            |path, time| provider.capacity_bps(path, time),
+            &mut hooks,
+            config.session_egress_bins,
+        );
+
+        Ok(SessionRunResult {
+            metrics: output.metrics,
+            final_cache_used_bytes: cache.used_bytes(),
+            final_cached_objects: cache.len(),
+        })
+    }
+}
+
+/// Runs the full `configs × runs` grid in session mode and returns one
+/// seed-averaged [`SessionMetrics`] per configuration, in configuration
+/// order — the session-mode analogue of [`crate::exec::run_grid`], with
+/// the same workload deduplication and determinism guarantees.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRuns`] when `runs` is zero, or the first
+/// validation error across the grid in configuration order.
+pub fn run_session_grid(
+    configs: &[SimulationConfig],
+    runs: usize,
+    executor: &ParallelExecutor,
+) -> Result<Vec<SessionMetrics>, SimError> {
+    struct SessionGrid;
+    impl GridRunner for SessionGrid {
+        type Out = SessionMetrics;
+        fn run(
+            &self,
+            config: &SimulationConfig,
+            seed: u64,
+            workload: Arc<SharedWorkload>,
+        ) -> Result<SessionMetrics, SimError> {
+            SessionWorker::with_workload(*config, seed, workload)
+                .run()
+                .map(|r| r.metrics)
+        }
+        fn average(&self, runs: &[SessionMetrics]) -> SessionMetrics {
+            SessionMetrics::average(runs)
+        }
+    }
+    run_grid_with(configs, runs, executor, &SessionGrid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariabilityKind;
+    use sc_cache::policy::PolicyKind;
+
+    fn spec(path: u32, arrival: f64, duration: f64, rate: f64) -> SessionSpec {
+        SessionSpec {
+            path,
+            arrival_secs: arrival,
+            duration_secs: duration,
+            rate_bps: rate,
+            size_bytes: duration * rate,
+        }
+    }
+
+    #[test]
+    fn single_session_downloads_at_full_capacity() {
+        let out = simulate_sessions(
+            &[spec(0, 0.0, 100.0, 48_000.0)],
+            1,
+            |_, _| 96_000.0,
+            &mut NoCacheHooks,
+            4,
+        );
+        let f = &out.finals[0];
+        assert_eq!(f.downloaded_bytes, 4_800_000.0);
+        // 4.8 MB at 96 KB/s: done at t = 50.
+        assert!((f.transfer_end_secs - 50.0).abs() < 1e-9);
+        assert_eq!(f.rebuffer_secs, 0.0);
+        assert_eq!(out.metrics.sessions, 1);
+        assert_eq!(out.metrics.peak_concurrent_viewers, 1);
+        // One viewer for 100 s.
+        assert!((out.metrics.viewer_seconds - 100.0).abs() < 1e-9);
+        assert!((out.metrics.origin_bytes_total - 4_800_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slow_path_rebuffers_for_the_bandwidth_deficit_time() {
+        // 100 s × 48 KB/s over a 24 KB/s path, nothing cached: the buffer
+        // is drained the whole playback window.
+        let out = simulate_sessions(
+            &[spec(0, 0.0, 100.0, 48_000.0)],
+            1,
+            |_, _| 24_000.0,
+            &mut NoCacheHooks,
+            4,
+        );
+        let f = &out.finals[0];
+        assert!((f.rebuffer_secs - 100.0).abs() < 1e-9);
+        // Transfer takes 200 s, well past the playback window.
+        assert!((f.transfer_end_secs - 200.0).abs() < 1e-9);
+        assert_eq!(out.metrics.rebuffer_probability, 1.0);
+    }
+
+    #[test]
+    fn cached_prefix_prevents_rebuffering_on_a_half_rate_path() {
+        // Half-rate path, half the object cached: the classic PB setting —
+        // demand r·t never exceeds prefix + (r/2)·t for t ≤ D because
+        // prefix = (r/2)·D.
+        struct HalfPrefix;
+        impl SessionHooks for HalfPrefix {
+            fn on_arrival(&mut self, _i: usize, spec: &SessionSpec, _share: f64) -> f64 {
+                spec.size_bytes / 2.0
+            }
+        }
+        let out = simulate_sessions(
+            &[spec(0, 0.0, 100.0, 48_000.0)],
+            1,
+            |_, _| 24_000.0,
+            &mut HalfPrefix,
+            4,
+        );
+        let f = &out.finals[0];
+        assert_eq!(f.prefix_bytes, 2_400_000.0);
+        assert_eq!(f.rebuffer_secs, 0.0);
+        assert_eq!(out.metrics.rebuffer_probability, 0.0);
+        assert!((out.metrics.traffic_reduction_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processor_sharing_halves_throughput_while_two_sessions_overlap() {
+        // Session A alone from t=0; B joins at t=25 on the same path.
+        let specs = [
+            spec(0, 0.0, 100.0, 48_000.0),
+            spec(0, 25.0, 100.0, 48_000.0),
+        ];
+        let out = simulate_sessions(&specs, 1, |_, _| 96_000.0, &mut NoCacheHooks, 4);
+        // A downloads 2.4 MB alone by t=25, then shares 48 KB/s each; A
+        // needs another 2.4 MB → 50 s → done at t=75.
+        assert!((out.finals[0].transfer_end_secs - 75.0).abs() < 1e-6);
+        // B: 48 KB/s from 25 to 75 (2.4 MB), then full 96 KB/s for the
+        // remaining 2.4 MB → 25 s → done at t=100.
+        assert!((out.finals[1].transfer_end_secs - 100.0).abs() < 1e-6);
+        assert_eq!(out.metrics.peak_concurrent_viewers, 2);
+        // Viewer curve integral = sum of durations.
+        assert!((out.metrics.viewer_seconds - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_share_from_the_start() {
+        let specs = [spec(0, 10.0, 50.0, 48_000.0), spec(0, 10.0, 50.0, 48_000.0)];
+        let out = simulate_sessions(&specs, 1, |_, _| 96_000.0, &mut NoCacheHooks, 4);
+        // Both transfer at 48 KB/s throughout: 2.4 MB / 48 KB/s = 50 s.
+        for f in &out.finals {
+            assert!((f.transfer_end_secs - 60.0).abs() < 1e-6);
+            assert_eq!(f.rebuffer_secs, 0.0);
+        }
+    }
+
+    #[test]
+    fn sessions_on_different_paths_do_not_contend() {
+        let specs = [spec(0, 0.0, 100.0, 48_000.0), spec(1, 0.0, 100.0, 48_000.0)];
+        let out = simulate_sessions(&specs, 2, |_, _| 96_000.0, &mut NoCacheHooks, 4);
+        for f in &out.finals {
+            assert!((f.transfer_end_secs - 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_hit_sessions_never_touch_the_origin() {
+        struct FullHit;
+        impl SessionHooks for FullHit {
+            fn on_arrival(&mut self, _i: usize, spec: &SessionSpec, _share: f64) -> f64 {
+                spec.size_bytes
+            }
+            fn on_transfer_complete(&mut self, _i: usize, _s: &SessionSpec, _t: f64) {
+                panic!("full hits must not report transfers");
+            }
+        }
+        let out = simulate_sessions(
+            &[spec(0, 0.0, 100.0, 48_000.0)],
+            1,
+            |_, _| 1.0, // capacity is irrelevant: the path is never joined
+            &mut FullHit,
+            4,
+        );
+        assert_eq!(out.metrics.origin_bytes_total, 0.0);
+        assert_eq!(out.finals[0].downloaded_bytes, 0.0);
+        assert_eq!(out.finals[0].rebuffer_secs, 0.0);
+        assert!((out.metrics.traffic_reduction_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(out.metrics.egress_bins_bytes.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn egress_bins_sum_to_origin_bytes() {
+        let specs = [
+            spec(0, 0.0, 100.0, 48_000.0),
+            spec(1, 10.0, 200.0, 24_000.0),
+            spec(0, 30.0, 60.0, 48_000.0),
+        ];
+        let out = simulate_sessions(&specs, 2, |_, _| 40_000.0, &mut NoCacheHooks, 16);
+        let total: f64 = out.metrics.egress_bins_bytes.iter().sum();
+        assert!(
+            (total - out.metrics.origin_bytes_total).abs() / out.metrics.origin_bytes_total < 1e-9
+        );
+        assert_eq!(out.metrics.egress_bins_bytes.len(), 16);
+    }
+
+    #[test]
+    fn egress_accumulator_distributes_and_clamps() {
+        let mut acc = EgressAccumulator::new(4, 100.0);
+        acc.add(0.0, 50.0, 100.0);
+        assert!((acc.bins()[0] - 50.0).abs() < 1e-12);
+        assert!((acc.bins()[1] - 50.0).abs() < 1e-12);
+        // Beyond the horizon: everything lands in the last bin.
+        acc.add(150.0, 250.0, 40.0);
+        assert!((acc.bins()[3] - 40.0).abs() < 1e-12);
+        // Degenerate interval: lumped at the start instant.
+        acc.add(60.0, 60.0, 7.0);
+        assert!((acc.bins()[2] - 7.0).abs() < 1e-12);
+        // Zero bytes are a no-op.
+        acc.add(0.0, 10.0, 0.0);
+        let sum: f64 = acc.bins().iter().sum();
+        assert!((sum - 147.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_measure_covers_all_slopes() {
+        assert_eq!(positive_measure(1.0, 0.0, 5.0), 5.0);
+        assert_eq!(positive_measure(-1.0, 0.0, 5.0), 0.0);
+        // Crosses zero upward at x=2: positive on (2, 5].
+        assert!((positive_measure(-2.0, 1.0, 5.0) - 3.0).abs() < 1e-12);
+        // Crosses zero downward at x=2: positive on [0, 2).
+        assert!((positive_measure(2.0, -1.0, 5.0) - 2.0).abs() < 1e-12);
+        // Entirely positive / entirely negative with slope.
+        assert_eq!(positive_measure(1.0, 1.0, 5.0), 5.0);
+        assert_eq!(positive_measure(-10.0, 1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn empty_spec_list_yields_empty_metrics() {
+        let out = simulate_sessions(&[], 0, |_, _| 1.0, &mut NoCacheHooks, 4);
+        assert_eq!(out.metrics.sessions, 0);
+        assert_eq!(out.metrics.viewer_seconds, 0.0);
+        assert!(out.finals.is_empty());
+    }
+
+    #[test]
+    fn worker_runs_and_uses_cache() {
+        let config = SimulationConfig {
+            policy: PolicyKind::PartialBandwidth,
+            variability: VariabilityKind::Constant,
+            ..SimulationConfig::small()
+        }
+        .with_cache_fraction(0.05);
+        let result = SessionWorker::new(config, config.seed).run().unwrap();
+        assert_eq!(result.metrics.sessions, 5_000);
+        assert!(result.final_cache_used_bytes > 0.0);
+        assert!(result.final_cached_objects > 0);
+        assert!(result.metrics.traffic_reduction_ratio > 0.0);
+        assert!(result.metrics.avg_concurrent_viewers > 1.0);
+        assert!(result.metrics.peak_concurrent_viewers >= 2);
+        assert!((0.0..=1.0).contains(&result.metrics.rebuffer_probability));
+        assert_eq!(
+            result.metrics.egress_bins_bytes.len(),
+            config.session_egress_bins
+        );
+    }
+
+    #[test]
+    fn worker_is_deterministic_and_seed_sensitive() {
+        let config = SimulationConfig::small().with_cache_fraction(0.05);
+        let a = SessionWorker::new(config, 7).run().unwrap();
+        let b = SessionWorker::new(config, 7).run().unwrap();
+        assert_eq!(a, b);
+        let c = SessionWorker::new(config, 8).run().unwrap();
+        assert_ne!(a.metrics, c.metrics);
+    }
+
+    #[test]
+    fn caching_reduces_rebuffering_in_session_mode() {
+        let no_cache = SimulationConfig {
+            cache_size_bytes: 0.0,
+            ..SimulationConfig::small()
+        };
+        let with_cache = SimulationConfig::small().with_cache_fraction(0.10);
+        let none = SessionWorker::new(no_cache, 1).run().unwrap().metrics;
+        let cached = SessionWorker::new(with_cache, 1).run().unwrap().metrics;
+        // Rebuffer *probability* is a coarse binary per-session signal (a
+        // prefix often shortens a drain without eliminating it), so the
+        // strict improvement is asserted on rebuffer time.
+        assert!(
+            cached.avg_rebuffer_secs < none.avg_rebuffer_secs,
+            "cached {} vs none {}",
+            cached.avg_rebuffer_secs,
+            none.avg_rebuffer_secs
+        );
+        assert!(cached.rebuffer_probability <= none.rebuffer_probability);
+        assert!(cached.origin_bytes_total < none.origin_bytes_total);
+        assert_eq!(none.traffic_reduction_ratio, 0.0);
+    }
+}

@@ -1,0 +1,468 @@
+//! Naive fluid reference model for the session event core.
+//!
+//! The discrete-event core (`sc_sim::session`) earns its speed from
+//! incremental bookkeeping: a binary heap with tombstoned cancellations,
+//! per-path member lists, and cached shares. This reference model keeps
+//! none of that — pending events live in a flat list popped by linear
+//! `(time, seq)` scan, path membership is recomputed from scratch at every
+//! event by scanning all sessions, and every re-division recomputes the
+//! share from the capacity and the fresh member count. Only the
+//! per-session integration arithmetic (`SessionState::advance`) and the
+//! event scheduling *order* are shared, so a bitwise match isolates the
+//! core's heap and path bookkeeping as the only thing under test — the
+//! same role `model_fuzz.rs` plays for the slab cache engine.
+
+use sc_cache::policy::{PolicyKind, UtilityPolicy};
+use sc_cache::{CacheEngine, ObjectKey, ObjectMeta};
+use sc_sim::session::{simulate_sessions, SessionHooks, SessionSpec, SessionState};
+use sc_sim::{EstimatorBank, EstimatorKind, EventKind};
+
+/// The event core's egress bins are part of the bitwise contract, so the
+/// reference re-derives them through the same public accumulator.
+use sc_sim::session::EgressAccumulator;
+
+// ---------------------------------------------------------------------------
+// The naive reference simulator
+// ---------------------------------------------------------------------------
+
+struct RefEvent {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+struct RefOutput {
+    states: Vec<SessionState>,
+    viewer_seconds: f64,
+    peak_viewers: u64,
+    egress_bins: Vec<f64>,
+}
+
+/// O(events × sessions) fluid simulation: same event order, same
+/// arithmetic, zero shared bookkeeping with the event core.
+fn reference_simulate<H: SessionHooks>(
+    specs: &[SessionSpec],
+    capacity: impl Fn(usize, f64) -> f64,
+    hooks: &mut H,
+    egress_bins: usize,
+) -> RefOutput {
+    let horizon = specs
+        .iter()
+        .map(|s| s.arrival_secs + s.duration_secs)
+        .fold(0.0_f64, f64::max);
+    let mut egress = EgressAccumulator::new(egress_bins, horizon);
+
+    // Arrivals are pre-scheduled in spec order: seq == spec index, exactly
+    // as the core pushes them.
+    let mut pending: Vec<RefEvent> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| RefEvent {
+            time: s.arrival_secs,
+            seq: i as u64,
+            kind: EventKind::Arrival(i as u32),
+        })
+        .collect();
+    let mut next_seq = specs.len() as u64;
+
+    let mut states: Vec<SessionState> = Vec::new();
+    let mut completion_seq: Vec<Option<u64>> = Vec::new();
+    let mut viewers: u64 = 0;
+    let mut peak_viewers: u64 = 0;
+    let mut viewer_seconds = 0.0;
+    let mut last_t = 0.0;
+
+    // Fresh ascending scan instead of the core's maintained member lists.
+    let members_of = |states: &[SessionState], path: u32| -> Vec<usize> {
+        states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.transferring && s.spec.path == path)
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    // Linear-scan pop of the minimum (time, seq) — no heap.
+    while let Some(pos) = pending
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.time.total_cmp(&b.1.time).then(a.1.seq.cmp(&b.1.seq)))
+        .map(|(i, _)| i)
+    {
+        let ev = pending.remove(pos);
+        viewer_seconds += viewers as f64 * (ev.time - last_t);
+        last_t = ev.time;
+        let now = ev.time;
+
+        match ev.kind {
+            EventKind::Arrival(_) => {
+                let index = ev.seq as usize;
+                let spec = &specs[index];
+                let path = spec.path;
+                let cap = capacity(path as usize, now);
+                let old_members = members_of(&states, path);
+                let share_if_joined = cap / (old_members.len() + 1) as f64;
+                let prefix = hooks.on_arrival(index, spec, share_if_joined);
+
+                let mut state = SessionState::begin(*spec, prefix);
+                viewers += 1;
+                peak_viewers = peak_viewers.max(viewers);
+                pending.push(RefEvent {
+                    time: spec.arrival_secs + spec.duration_secs,
+                    seq: next_seq,
+                    kind: EventKind::PlaybackEnd(index as u32),
+                });
+                next_seq += 1;
+
+                if state.origin_bytes > 0.0 {
+                    state.transferring = true;
+                    for &m in &old_members {
+                        states[m].advance(now, &mut egress);
+                    }
+                    states.push(state);
+                    completion_seq.push(None);
+                    let members = members_of(&states, path);
+                    let share = cap / members.len() as f64;
+                    for &m in &members {
+                        states[m].share_bps = share;
+                        if let Some(seq) = completion_seq[m].take() {
+                            pending.retain(|e| e.seq != seq);
+                        }
+                        let completes = now + states[m].remaining_bytes() / share;
+                        pending.push(RefEvent {
+                            time: completes,
+                            seq: next_seq,
+                            kind: EventKind::TransferComplete(m as u32),
+                        });
+                        completion_seq[m] = Some(next_seq);
+                        next_seq += 1;
+                    }
+                } else {
+                    state.transfer_end_secs = now;
+                    states.push(state);
+                    completion_seq.push(None);
+                }
+            }
+            EventKind::TransferComplete(s) => {
+                let index = s as usize;
+                completion_seq[index] = None;
+                let path = states[index].spec.path;
+                for m in members_of(&states, path) {
+                    states[m].advance(now, &mut egress);
+                }
+                let state = &mut states[index];
+                state.downloaded_bytes = state.origin_bytes;
+                state.transferring = false;
+                state.share_bps = 0.0;
+                state.transfer_end_secs = now;
+                let elapsed = now - state.spec.arrival_secs;
+                let origin = state.origin_bytes;
+                let spec = state.spec;
+                if elapsed > 0.0 {
+                    hooks.on_transfer_complete(index, &spec, origin / elapsed);
+                }
+                let members = members_of(&states, path);
+                if !members.is_empty() {
+                    let cap = capacity(path as usize, now);
+                    let share = cap / members.len() as f64;
+                    for &m in &members {
+                        states[m].share_bps = share;
+                        if let Some(seq) = completion_seq[m].take() {
+                            pending.retain(|e| e.seq != seq);
+                        }
+                        let completes = now + states[m].remaining_bytes() / share;
+                        pending.push(RefEvent {
+                            time: completes,
+                            seq: next_seq,
+                            kind: EventKind::TransferComplete(m as u32),
+                        });
+                        completion_seq[m] = Some(next_seq);
+                        next_seq += 1;
+                    }
+                }
+            }
+            EventKind::PlaybackEnd(s) => {
+                states[s as usize].advance(now, &mut egress);
+                viewers -= 1;
+            }
+        }
+    }
+
+    RefOutput {
+        states,
+        viewer_seconds,
+        peak_viewers,
+        egress_bins: egress.into_bins(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generation (self-contained LCG: no dependence on the rand shim)
+// ---------------------------------------------------------------------------
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+struct Scenario {
+    specs: Vec<SessionSpec>,
+    /// Per-path (duration, rate, capacity) — one "object" per path.
+    paths: Vec<(f64, f64, f64)>,
+}
+
+/// Small randomized scenario with quantized times so simultaneous events
+/// (arrival/arrival and arrival/completion ties) actually occur.
+fn random_scenario(seed: u64) -> Scenario {
+    let mut rng = Lcg(seed.wrapping_mul(2654435761).wrapping_add(1));
+    let n_paths = 2 + rng.below(4) as usize;
+    let paths: Vec<(f64, f64, f64)> = (0..n_paths)
+        .map(|_| {
+            let duration = 30.0 + rng.below(8) as f64 * 15.0;
+            let rate = 24_000.0 * (1 + rng.below(3)) as f64;
+            let capacity = 16_000.0 * (1 + rng.below(6)) as f64;
+            (duration, rate, capacity)
+        })
+        .collect();
+    let n_sessions = 20 + rng.below(30) as usize;
+    let mut arrivals: Vec<(f64, u32)> = (0..n_sessions)
+        .map(|_| {
+            // Half-second grid over 60 s: with 20+ sessions, ties are
+            // effectively guaranteed.
+            let t = rng.below(120) as f64 * 0.5;
+            let p = rng.below(n_paths as u64) as u32;
+            (t, p)
+        })
+        .collect();
+    arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let specs = arrivals
+        .into_iter()
+        .map(|(t, p)| {
+            let (duration, rate, _) = paths[p as usize];
+            SessionSpec {
+                path: p,
+                arrival_secs: t,
+                duration_secs: duration,
+                rate_bps: rate,
+                size_bytes: duration * rate,
+            }
+        })
+        .collect();
+    Scenario { specs, paths }
+}
+
+// ---------------------------------------------------------------------------
+// Cache hooks shared (by construction, not by instance) between the two
+// models
+// ---------------------------------------------------------------------------
+
+struct TestCacheHooks {
+    cache: CacheEngine<Box<dyn UtilityPolicy + Send + Sync>>,
+    estimators: EstimatorBank,
+    metas: Vec<ObjectMeta>,
+    means: Vec<f64>,
+}
+
+impl TestCacheHooks {
+    fn new(policy: PolicyKind, scenario: &Scenario, cache_fraction: f64) -> Self {
+        let metas: Vec<ObjectMeta> = scenario
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, &(duration, rate, _))| {
+                ObjectMeta::new(ObjectKey::new(i as u64), duration, rate, 1.0 + i as f64)
+            })
+            .collect();
+        let total: f64 = metas.iter().map(|m| m.size_bytes()).sum();
+        let mut cache =
+            CacheEngine::new(cache_fraction * total, policy.build()).expect("valid cache");
+        cache.ensure_slots(metas.len());
+        let means = scenario.paths.iter().map(|&(_, _, cap)| cap).collect();
+        TestCacheHooks {
+            cache,
+            estimators: EstimatorBank::new(EstimatorKind::Ewma { alpha: 0.3 }, metas.len()),
+            metas,
+            means,
+        }
+    }
+}
+
+impl SessionHooks for TestCacheHooks {
+    fn on_arrival(&mut self, _index: usize, spec: &SessionSpec, share_bps: f64) -> f64 {
+        let p = spec.path as usize;
+        let estimated = self.estimators.decision_bps(p, self.means[p], share_bps);
+        self.cache
+            .on_access_slot(spec.path, &self.metas[p], estimated)
+            .cached_bytes_before
+    }
+
+    fn on_transfer_complete(&mut self, _index: usize, spec: &SessionSpec, throughput_bps: f64) {
+        self.estimators
+            .observe_transfer(spec.path as usize, throughput_bps);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The bitwise cross-check
+// ---------------------------------------------------------------------------
+
+fn assert_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{what}: core {a} vs reference {b}"
+    );
+}
+
+fn cross_check(scenario: &Scenario, policy: PolicyKind, bins: usize) {
+    let capacity = |p: usize, _t: f64| scenario.paths[p].2;
+
+    let mut core_hooks = TestCacheHooks::new(policy, scenario, 0.3);
+    let core = simulate_sessions(
+        &scenario.specs,
+        scenario.paths.len(),
+        capacity,
+        &mut core_hooks,
+        bins,
+    );
+
+    let mut ref_hooks = TestCacheHooks::new(policy, scenario, 0.3);
+    let reference = reference_simulate(&scenario.specs, capacity, &mut ref_hooks, bins);
+
+    assert_eq!(core.finals.len(), reference.states.len());
+    for (i, (f, s)) in core.finals.iter().zip(&reference.states).enumerate() {
+        assert_bits(
+            f.prefix_bytes,
+            s.prefix_bytes,
+            &format!("session {i} prefix"),
+        );
+        assert_bits(
+            f.downloaded_bytes,
+            s.downloaded_bytes,
+            &format!("session {i} downloaded"),
+        );
+        assert_bits(
+            f.rebuffer_secs,
+            s.rebuffer_secs,
+            &format!("session {i} rebuffer"),
+        );
+        assert_bits(
+            f.transfer_end_secs,
+            s.transfer_end_secs,
+            &format!("session {i} transfer end"),
+        );
+    }
+
+    // Aggregates, re-derived from the reference states with the same
+    // in-order summation the core's metrics use.
+    let m = &core.metrics;
+    assert_eq!(m.sessions as usize, reference.states.len());
+    assert_bits(m.viewer_seconds, reference.viewer_seconds, "viewer seconds");
+    assert_eq!(m.peak_concurrent_viewers, reference.peak_viewers);
+    let ref_rebuffered = reference
+        .states
+        .iter()
+        .filter(|s| s.rebuffer_secs > sc_sim::session::REBUFFER_EPSILON_SECS)
+        .count();
+    assert_bits(
+        m.rebuffer_probability,
+        ref_rebuffered as f64 / reference.states.len() as f64,
+        "rebuffer probability",
+    );
+    let ref_origin: f64 = reference.states.iter().map(|s| s.downloaded_bytes).sum();
+    assert_bits(m.origin_bytes_total, ref_origin, "origin bytes");
+    assert_eq!(m.egress_bins_bytes.len(), reference.egress_bins.len());
+    for (i, (a, b)) in m
+        .egress_bins_bytes
+        .iter()
+        .zip(&reference.egress_bins)
+        .enumerate()
+    {
+        assert_bits(*a, *b, &format!("egress bin {i}"));
+    }
+}
+
+#[test]
+fn event_core_matches_naive_reference_across_policies_and_seeds() {
+    for policy in [
+        PolicyKind::PartialBandwidth,
+        PolicyKind::IntegralBandwidth,
+        PolicyKind::Lru,
+    ] {
+        for seed in 0..8 {
+            let scenario = random_scenario(seed);
+            cross_check(&scenario, policy, 12);
+        }
+    }
+}
+
+#[test]
+fn simultaneous_arrival_and_departure_ties_match_bitwise() {
+    // Path capacity 48 KB/s, object 30 s × 48 KB/s: a session alone
+    // finishes its transfer exactly 30 s after arrival — and its playback
+    // window ends at the same instant. A second session arriving exactly
+    // then makes the completion, the playback end, and the arrival
+    // simultaneous; two more simultaneous arrivals at t = 60 pile a
+    // three-way arrival tie on top of the resulting completions.
+    let spec = |t: f64| SessionSpec {
+        path: 0,
+        arrival_secs: t,
+        duration_secs: 30.0,
+        rate_bps: 48_000.0,
+        size_bytes: 30.0 * 48_000.0,
+    };
+    let scenario = Scenario {
+        specs: vec![spec(0.0), spec(30.0), spec(60.0), spec(60.0), spec(60.0)],
+        paths: vec![(30.0, 48_000.0, 48_000.0)],
+    };
+    for policy in [
+        PolicyKind::PartialBandwidth,
+        PolicyKind::IntegralBandwidth,
+        PolicyKind::Lru,
+    ] {
+        cross_check(&scenario, policy, 6);
+    }
+}
+
+#[test]
+fn reference_agrees_on_multi_path_tie_scenarios() {
+    // Two paths with identical timing grids: every arrival instant carries
+    // a tie across paths, exercising the (time, seq) order between events
+    // whose handlers touch disjoint state.
+    let spec = |p: u32, t: f64| SessionSpec {
+        path: p,
+        arrival_secs: t,
+        duration_secs: 45.0,
+        rate_bps: 24_000.0,
+        size_bytes: 45.0 * 24_000.0,
+    };
+    let scenario = Scenario {
+        specs: vec![
+            spec(0, 0.0),
+            spec(1, 0.0),
+            spec(0, 15.0),
+            spec(1, 15.0),
+            spec(0, 15.0),
+            spec(1, 30.0),
+        ],
+        paths: vec![(45.0, 24_000.0, 40_000.0), (45.0, 24_000.0, 20_000.0)],
+    };
+    for policy in [
+        PolicyKind::PartialBandwidth,
+        PolicyKind::IntegralBandwidth,
+        PolicyKind::Lru,
+    ] {
+        cross_check(&scenario, policy, 9);
+    }
+}

@@ -64,6 +64,6 @@ pub use lognormal::LogNormal;
 pub use object::{MediaObject, ObjectId};
 pub use poisson::PoissonProcess;
 pub use stats::{CatalogStats, TraceStats};
-pub use trace::{Request, RequestTrace, TraceConfig};
+pub use trace::{Request, RequestTrace, SessionArrival, TraceConfig};
 pub use value::{ValueAssigner, ValueModel};
 pub use zipf::ZipfLike;

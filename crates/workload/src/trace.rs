@@ -74,6 +74,28 @@ impl TraceConfig {
     }
 }
 
+/// One streaming *session* implied by a request: the arrival instant plus
+/// the playback characteristics of the requested object.
+///
+/// A [`Request`] is a point event; a session spans the object's playback
+/// duration and consumes bandwidth for its whole lifetime. Session-level
+/// simulators (the `sc_sim` event core) consume these instead of raw
+/// requests so overlapping sessions can contend for shared bottleneck
+/// links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionArrival {
+    /// Arrival time in seconds since the start of the trace.
+    pub time_secs: f64,
+    /// The requested object.
+    pub object: ObjectId,
+    /// Playback duration of the object in seconds.
+    pub duration_secs: f64,
+    /// CBR encoding rate in bytes per second.
+    pub bitrate_bps: f64,
+    /// Total object size in bytes (`duration_secs × bitrate_bps`).
+    pub size_bytes: f64,
+}
+
 /// A time-ordered sequence of requests over a catalog.
 ///
 /// ```
@@ -179,6 +201,29 @@ impl RequestTrace {
             }
         }
         counts
+    }
+
+    /// Expands every request into a [`SessionArrival`] carrying the
+    /// requested object's playback duration, encoding rate and size, in
+    /// arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request references an object outside `catalog`.
+    pub fn session_arrivals(&self, catalog: &Catalog) -> Vec<SessionArrival> {
+        self.requests
+            .iter()
+            .map(|req| {
+                let obj = catalog.object(req.object);
+                SessionArrival {
+                    time_secs: req.time_secs,
+                    object: req.object,
+                    duration_secs: obj.duration_secs,
+                    bitrate_bps: obj.bitrate_bps,
+                    size_bytes: obj.size_bytes(),
+                }
+            })
+            .collect()
     }
 
     /// Splits the trace into a warm-up prefix and a measurement suffix.
@@ -298,6 +343,27 @@ mod tests {
         let trace = RequestTrace::from_requests(reqs).unwrap();
         assert_eq!(trace.requests()[0].object, ObjectId::new(0));
         assert!((trace.span_secs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_arrivals_carry_object_playback_characteristics() {
+        let (catalog, trace) = small_setup();
+        let sessions = trace.session_arrivals(&catalog);
+        assert_eq!(sessions.len(), trace.len());
+        for (req, session) in trace.iter().zip(&sessions) {
+            let obj = catalog.object(req.object);
+            assert_eq!(session.time_secs, req.time_secs);
+            assert_eq!(session.object, req.object);
+            assert_eq!(session.duration_secs, obj.duration_secs);
+            assert_eq!(session.bitrate_bps, obj.bitrate_bps);
+            assert_eq!(session.size_bytes, obj.size_bytes());
+            assert!(session.duration_secs > 0.0);
+            assert!(session.size_bytes > 0.0);
+        }
+        // Arrival order is preserved.
+        assert!(sessions
+            .windows(2)
+            .all(|w| w[0].time_secs <= w[1].time_secs));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use streamcache::cache::{
     OfflineObject,
 };
 use streamcache::netmodel::{NlanrBandwidthModel, PathSet, VariabilityModel};
-use streamcache::sim::{run_simulation, Metrics, SimulationConfig};
+use streamcache::sim::{run_sessions, run_simulation, Metrics, SimulationConfig};
 use streamcache::workload::WorkloadBuilder;
 
 fn small(policy: PolicyKind, cache_fraction: f64) -> SimulationConfig {
@@ -138,6 +138,95 @@ fn golden_metrics_small_scenario() {
             immediate_ratio: 0.7624,
         },
     );
+}
+
+/// Session-mode goldens for the same small scenario: the discrete-event
+/// core replays the identical workload as 5,000 playback-spanning sessions
+/// under processor-shared bottlenecks. Any change to the event core, the
+/// session arrival derivation, or the shared bandwidth/estimator/cache
+/// layers shows up here — while the per-request goldens above pin that the
+/// original path is untouched.
+///
+/// (Note the reversal against the per-request delay ordering: under
+/// contention LRU's whole objects free more bottleneck bandwidth than PB's
+/// minimal deficit prefixes, so LRU rebuffers *less* — contention is
+/// exactly the effect the session mode adds.)
+#[test]
+fn golden_session_metrics_small_scenario() {
+    let pb = run_sessions(&small(PolicyKind::PartialBandwidth, 0.05))
+        .unwrap()
+        .metrics;
+    assert_eq!(pb.sessions, 5000);
+    assert_eq!(pb.peak_concurrent_viewers, 2903);
+    assert_eq!(pb.egress_bins_bytes.len(), 24);
+    assert_close(pb.viewer_seconds, 15997017.782627294, "PB viewer_seconds");
+    assert_close(
+        pb.avg_concurrent_viewers,
+        730.8745577830542,
+        "PB avg_concurrent_viewers",
+    );
+    assert_close(pb.rebuffer_probability, 0.8496, "PB rebuffer_probability");
+    assert_close(
+        pb.avg_rebuffer_secs,
+        2475.531715947582,
+        "PB avg_rebuffer_secs",
+    );
+    assert_close(
+        pb.traffic_reduction_ratio,
+        0.06973689141298253,
+        "PB traffic_reduction_ratio",
+    );
+    assert_close(
+        pb.origin_bytes_total,
+        714308903548.2557,
+        "PB origin_bytes_total",
+    );
+    assert_close(pb.horizon_secs, 21887.501230239424, "PB horizon_secs");
+    let binned: f64 = pb.egress_bins_bytes.iter().sum();
+    assert_close(binned, pb.origin_bytes_total, "PB egress bins sum");
+
+    let lru = run_sessions(&small(PolicyKind::Lru, 0.05)).unwrap().metrics;
+    assert_eq!(lru.sessions, 5000);
+    assert_close(lru.rebuffer_probability, 0.665, "LRU rebuffer_probability");
+    assert_close(
+        lru.avg_rebuffer_secs,
+        2120.058232349771,
+        "LRU avg_rebuffer_secs",
+    );
+    assert_close(
+        lru.traffic_reduction_ratio,
+        0.17941676651642335,
+        "LRU traffic_reduction_ratio",
+    );
+    assert_close(
+        lru.origin_bytes_total,
+        630090459751.8009,
+        "LRU origin_bytes_total",
+    );
+
+    // Paired workloads: the viewer curve is policy-independent (the cache
+    // changes what sessions download, not when they watch).
+    assert_eq!(pb.peak_concurrent_viewers, lru.peak_concurrent_viewers);
+    assert_close(lru.viewer_seconds, pb.viewer_seconds, "viewer pairing");
+}
+
+/// Session-mode seeded determinism mirrors the per-request contract.
+#[test]
+fn session_mode_same_seed_is_byte_identical_and_seed_sensitive() {
+    let config = small(PolicyKind::PartialBandwidth, 0.05);
+    let a = run_sessions(&config).unwrap().metrics;
+    let b = run_sessions(&config).unwrap().metrics;
+    assert_eq!(a, b, "identical session configs diverged");
+    assert_eq!(a.viewer_seconds.to_bits(), b.viewer_seconds.to_bits());
+    assert_eq!(
+        a.origin_bytes_total.to_bits(),
+        b.origin_bytes_total.to_bits()
+    );
+
+    let mut reseeded = config;
+    reseeded.seed += 1;
+    let c = run_sessions(&reseeded).unwrap().metrics;
+    assert_ne!(a, c, "changing the seed did not change the session metrics");
 }
 
 /// Rate-weighted delay-reduction utility of an allocation:

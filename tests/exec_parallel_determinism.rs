@@ -11,7 +11,8 @@ use streamcache::sim::sweep::{
     sweep_cache_size_with, sweep_estimator_with, sweep_policies_with, sweep_zipf_alpha_with,
 };
 use streamcache::sim::{
-    run_comparison_with, run_replicated_with, BandwidthModel, EstimatorKind, Metrics,
+    run_comparison_with, run_replicated_with, run_session_comparison_with,
+    run_sessions_replicated_with, BandwidthModel, EstimatorKind, Metrics, SessionMetrics,
     SimulationConfig, VariabilityKind,
 };
 
@@ -213,6 +214,119 @@ fn stateful_estimators_are_thread_count_invariant() {
         let seq = run_replicated_with(&config, 3, &sequential()).unwrap();
         let par = run_replicated_with(&config, 3, &parallel()).unwrap();
         assert_bit_identical(&seq, &par, estimator.label());
+    }
+}
+
+/// Session-mode analogue of [`assert_bit_identical`]: every float field of
+/// the time-weighted metrics, including each egress bin, bit-for-bit.
+fn assert_session_bit_identical(a: &SessionMetrics, b: &SessionMetrics, what: &str) {
+    assert_eq!(a.sessions, b.sessions, "{what}: sessions");
+    assert_eq!(
+        a.peak_concurrent_viewers, b.peak_concurrent_viewers,
+        "{what}: peak viewers"
+    );
+    for (field, x, y) in [
+        ("viewer_seconds", a.viewer_seconds, b.viewer_seconds),
+        (
+            "avg_concurrent_viewers",
+            a.avg_concurrent_viewers,
+            b.avg_concurrent_viewers,
+        ),
+        (
+            "rebuffer_probability",
+            a.rebuffer_probability,
+            b.rebuffer_probability,
+        ),
+        (
+            "avg_rebuffer_secs",
+            a.avg_rebuffer_secs,
+            b.avg_rebuffer_secs,
+        ),
+        (
+            "traffic_reduction_ratio",
+            a.traffic_reduction_ratio,
+            b.traffic_reduction_ratio,
+        ),
+        (
+            "origin_bytes_total",
+            a.origin_bytes_total,
+            b.origin_bytes_total,
+        ),
+        ("horizon_secs", a.horizon_secs, b.horizon_secs),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: {field} diverged between sequential and parallel ({x} vs {y})"
+        );
+    }
+    assert_eq!(
+        a.egress_bins_bytes.len(),
+        b.egress_bins_bytes.len(),
+        "{what}: egress bin count"
+    );
+    for (i, (x, y)) in a
+        .egress_bins_bytes
+        .iter()
+        .zip(&b.egress_bins_bytes)
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: egress bin {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn session_mode_is_thread_count_invariant() {
+    // The session event core rides the same grid engine as the per-request
+    // mode; its time-weighted metrics must be byte-identical at any thread
+    // count, for IID and AR(1) bandwidth alike.
+    let mut config = small(PolicyKind::PartialBandwidth, 0.05);
+    config.variability = VariabilityKind::MeasuredModerate;
+    let seq = run_sessions_replicated_with(&config, 3, &sequential()).unwrap();
+    for threads in [4, 32] {
+        let par = run_sessions_replicated_with(
+            &config,
+            3,
+            &ParallelExecutor::new(ExecConfig::with_threads(threads)),
+        )
+        .unwrap();
+        assert_session_bit_identical(
+            &seq,
+            &par,
+            &format!("session replicated, {threads} threads"),
+        );
+    }
+
+    let mut ar1 = small(PolicyKind::IntegralBandwidth, 0.05);
+    ar1.variability = VariabilityKind::NlanrLike;
+    ar1.bandwidth_model = BandwidthModel::ar1_default();
+    let seq = run_sessions_replicated_with(&ar1, 2, &sequential()).unwrap();
+    let par = run_sessions_replicated_with(&ar1, 2, &parallel()).unwrap();
+    assert_session_bit_identical(&seq, &par, "session ar1 replicated");
+}
+
+#[test]
+fn session_comparisons_are_thread_count_invariant_and_paired() {
+    let configs = vec![
+        small(PolicyKind::PartialBandwidth, 0.05),
+        small(PolicyKind::IntegralBandwidth, 0.05),
+        small(PolicyKind::Lru, 0.05),
+    ];
+    let seq = run_session_comparison_with(&configs, 2, &sequential()).unwrap();
+    let par = run_session_comparison_with(&configs, 2, &parallel()).unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_session_bit_identical(a, b, &configs[i].policy.label());
+    }
+    // Paired workloads: the comparison must agree bit-for-bit with running
+    // each configuration's replications on their own.
+    for (config, compared) in configs.iter().zip(&seq) {
+        let alone = run_sessions_replicated_with(config, 2, &sequential()).unwrap();
+        assert_session_bit_identical(compared, &alone, "session comparison vs standalone");
     }
 }
 
