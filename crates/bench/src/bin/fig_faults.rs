@@ -1,0 +1,24 @@
+//! Regenerates the resilience figure (beyond the paper): rebuffer
+//! probability of PB vs IB vs LRU as origin paths suffer seeded outages,
+//! swept over the outage rate at two repair speeds. The session metrics
+//! also report the injected down-time (`outage_secs`) and how much stall
+//! time the cached prefixes masked (`masked_stall_secs`) — the paper's
+//! partial caching doubling as an availability mechanism.
+//!
+//! Pass `--scale paper` for the full-scale run (default: quick); `--smoke`
+//! is a CI shorthand for `--scale test`.
+
+use sc_sim::experiments::fig_faults;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        sc_sim::experiments::ExperimentScale::Test
+    } else {
+        sc_bench::scale_from_args()
+    };
+    let start = std::time::Instant::now();
+    let figure = fig_faults(scale)?;
+    sc_bench::emit_session_timed(&figure, start.elapsed());
+    println!("(scale: {scale:?})");
+    Ok(())
+}

@@ -277,7 +277,8 @@ fn session_metrics_to_json(m: &SessionMetrics) -> String {
          \"avg_concurrent_viewers\": {}, \"peak_concurrent_viewers\": {}, \
          \"rebuffer_probability\": {}, \"avg_rebuffer_secs\": {}, \
          \"traffic_reduction_ratio\": {}, \"origin_bytes_total\": {}, \
-         \"horizon_secs\": {}, \"egress_bins_bytes\": [{}]}}",
+         \"horizon_secs\": {}, \"outage_secs\": {}, \"masked_stall_secs\": {}, \
+         \"egress_bins_bytes\": [{}]}}",
         m.sessions,
         json_f64(m.viewer_seconds),
         json_f64(m.avg_concurrent_viewers),
@@ -287,6 +288,8 @@ fn session_metrics_to_json(m: &SessionMetrics) -> String {
         json_f64(m.traffic_reduction_ratio),
         json_f64(m.origin_bytes_total),
         json_f64(m.horizon_secs),
+        json_f64(m.outage_secs),
+        json_f64(m.masked_stall_secs),
         bins.join(", "),
     )
 }
@@ -403,6 +406,8 @@ mod tests {
                 origin_bytes_total: 1_000.0,
                 egress_bins_bytes: vec![600.0, 400.0],
                 horizon_secs: 50.0,
+                outage_secs: 12.5,
+                masked_stall_secs: 3.75,
             },
         );
         fig.series.push(s);
@@ -415,6 +420,8 @@ mod tests {
         );
         assert!(json.contains("\"egress_bins_bytes\": [600.0, 400.0]"));
         assert!(json.contains("\"rebuffer_probability\": 0.5"));
+        assert!(json.contains("\"outage_secs\": 12.5"));
+        assert!(json.contains("\"masked_stall_secs\": 3.75"));
         assert!(json.contains("\"wall_clock_secs\": 2.0"));
 
         emit_session_timed(&fig, Duration::from_millis(5));

@@ -24,6 +24,10 @@ pub struct TransferReport {
     pub startup_delay_secs: f64,
     /// Whether the payload matched the expected synthetic content.
     pub content_ok: bool,
+    /// Whether the server flagged the response as degraded: an origin
+    /// outage was masked with a cached prefix, so `bytes` covers only that
+    /// prefix rather than the full object.
+    pub degraded: bool,
 }
 
 impl TransferReport {
@@ -68,8 +72,12 @@ impl StreamingClient {
                 offset: 0,
             },
         )?;
-        let (size, bitrate_bps) = match read_response(&mut reader)? {
-            Response::Ok { size, bitrate_bps } => (size, bitrate_bps),
+        let (size, bitrate_bps, degraded) = match read_response(&mut reader)? {
+            Response::Ok {
+                size,
+                bitrate_bps,
+                degraded,
+            } => (size, bitrate_bps, degraded),
             Response::Err(message) => return Err(ProxyError::UnknownObject(message)),
         };
         let mut received: u64 = 0;
@@ -112,6 +120,7 @@ impl StreamingClient {
             bitrate_bps,
             startup_delay_secs: startup_delay.max(0.0),
             content_ok,
+            degraded,
         })
     }
 }
@@ -129,6 +138,7 @@ mod tests {
             bitrate_bps: 100.0,
             startup_delay_secs: 0.05,
             content_ok: true,
+            degraded: false,
         };
         assert!(report.immediate(0.1));
         assert!(!report.immediate(0.01));

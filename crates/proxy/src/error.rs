@@ -13,6 +13,9 @@ pub enum ProxyError {
     Protocol(String),
     /// The requested object is not known to the server.
     UnknownObject(String),
+    /// The origin could not be reached within the retry budget (or the
+    /// circuit breaker is open) and no cached prefix could mask it.
+    OriginUnavailable(String),
     /// A configuration value was invalid (name, description).
     InvalidConfig(&'static str, String),
 }
@@ -23,6 +26,9 @@ impl fmt::Display for ProxyError {
             ProxyError::Io(e) => write!(f, "i/o error: {e}"),
             ProxyError::Protocol(why) => write!(f, "protocol violation: {why}"),
             ProxyError::UnknownObject(name) => write!(f, "unknown object `{name}`"),
+            ProxyError::OriginUnavailable(name) => {
+                write!(f, "origin unavailable while fetching `{name}`")
+            }
             ProxyError::InvalidConfig(name, why) => {
                 write!(f, "invalid configuration for `{name}`: {why}")
             }
@@ -61,6 +67,9 @@ mod tests {
         assert!(ProxyError::Protocol("bad line".into())
             .to_string()
             .contains("bad line"));
+        assert!(ProxyError::OriginUnavailable("clip".into())
+            .to_string()
+            .contains("origin unavailable"));
         assert!(ProxyError::InvalidConfig("rate", "negative".into())
             .to_string()
             .contains("rate"));

@@ -45,17 +45,21 @@
 mod client;
 mod content;
 mod error;
+pub mod fault;
 mod origin;
 mod pool;
 pub mod protocol;
 mod proxy;
 mod ratelimit;
+mod retry;
 mod store;
 
 pub use client::{StreamingClient, TransferReport};
 pub use content::{content_byte, fill_content, verify_content};
 pub use error::ProxyError;
+pub use fault::{FaultAction, FaultPlan, FaultProfile};
 pub use origin::{ObjectSpec, OriginConfig, OriginServer};
 pub use proxy::{CachingProxy, ProxyConfig, ProxyStats};
 pub use ratelimit::RateLimiter;
+pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use store::PrefixStore;

@@ -1,16 +1,19 @@
-//! A rate-limited origin streaming server.
+//! A rate-limited origin streaming server, with optional deterministic
+//! fault injection (see [`crate::fault`]).
 
 use crate::content::fill_content;
 use crate::error::ProxyError;
+use crate::fault::{FaultAction, FaultPlan};
 use crate::protocol::{read_request, write_response, Response};
 use crate::ratelimit::RateLimiter;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Static description of an object hosted by an origin server.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,12 +60,14 @@ pub struct OriginServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    state: Arc<OriginState>,
 }
 
 #[derive(Debug)]
 struct OriginState {
     objects: RwLock<HashMap<String, ObjectSpec>>,
     rate_limit_bps: f64,
+    faults: FaultPlan,
 }
 
 impl OriginServer {
@@ -75,6 +80,13 @@ impl OriginServer {
     /// [`ProxyError::InvalidConfig`] if an object has a non-positive size
     /// or bit-rate.
     pub fn start(config: OriginConfig) -> Result<Self, ProxyError> {
+        OriginServer::start_with_faults(config, FaultPlan::none())
+    }
+
+    /// Like [`start`](Self::start), but every accepted connection consults
+    /// `faults` (in accept order) and misbehaves as instructed — the
+    /// deterministic failure model the proxy's resilience tests drive.
+    pub fn start_with_faults(config: OriginConfig, faults: FaultPlan) -> Result<Self, ProxyError> {
         for o in &config.objects {
             if o.size_bytes == 0 {
                 return Err(ProxyError::InvalidConfig(
@@ -104,8 +116,10 @@ impl OriginServer {
                     .collect(),
             ),
             rate_limit_bps: config.rate_limit_bps,
+            faults,
         });
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
@@ -113,7 +127,7 @@ impl OriginServer {
                 }
                 match stream {
                     Ok(stream) => {
-                        let state = Arc::clone(&state);
+                        let state = Arc::clone(&accept_state);
                         std::thread::spawn(move || {
                             let _ = handle_connection(stream, &state);
                         });
@@ -126,7 +140,15 @@ impl OriginServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            state,
         })
+    }
+
+    /// Number of connections that have consulted the fault plan so far
+    /// (every handled connection does, healthy or not), useful for
+    /// asserting that a fast-failing proxy really did not dial out.
+    pub fn fault_connections_seen(&self) -> u64 {
+        self.state.faults.connections_seen()
     }
 
     /// The address clients and proxies should connect to.
@@ -154,7 +176,17 @@ impl Drop for OriginServer {
 }
 
 fn handle_connection(stream: TcpStream, state: &OriginState) -> Result<(), ProxyError> {
+    let action = state.faults.next_action();
+    if action == FaultAction::Refuse {
+        // Drop before reading the request: the peer sees an immediate EOF
+        // where the response header should be.
+        drop(stream);
+        return Ok(());
+    }
     stream.set_nodelay(true).ok();
+    // A third handle to the socket so a reset can sever it abruptly while
+    // the buffered reader/writer own the other two.
+    let raw = stream.try_clone()?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let request = read_request(&mut reader)?;
@@ -170,17 +202,52 @@ fn handle_connection(stream: TcpStream, state: &OriginState) -> Result<(), Proxy
         &Response::Ok {
             size: spec.size_bytes,
             bitrate_bps: spec.bitrate_bps,
+            degraded: false,
         },
     )?;
     let mut limiter = RateLimiter::new(state.rate_limit_bps);
-    let mut offset = request.offset.min(spec.size_bytes);
+    let start_offset = request.offset.min(spec.size_bytes);
+    let mut offset = start_offset;
+    // Fault offsets are relative to this connection's payload stream.
+    let end = match action {
+        FaultAction::ResetAfter(n) | FaultAction::TruncateAfter(n) => {
+            spec.size_bytes.min(start_offset.saturating_add(n))
+        }
+        _ => spec.size_bytes,
+    };
+    let stall = match action {
+        FaultAction::StallAt {
+            offset: rel,
+            millis,
+        } => Some((start_offset.saturating_add(rel), millis)),
+        _ => None,
+    };
+    let mut stalled = false;
     let mut chunk = vec![0u8; 8 * 1024];
-    while offset < spec.size_bytes {
-        let n = chunk.len().min((spec.size_bytes - offset) as usize);
+    while offset < end {
+        let mut n = chunk.len().min((end - offset) as usize);
+        if let Some((at, millis)) = stall {
+            if !stalled && offset == at {
+                stalled = true;
+                writer.flush()?;
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            if !stalled && offset < at {
+                // Stop the chunk exactly at the stall point.
+                n = n.min((at - offset) as usize);
+            }
+        }
         fill_content(&spec.name, offset, &mut chunk[..n]);
         limiter.acquire(n);
         writer.write_all(&chunk[..n])?;
         offset += n as u64;
+    }
+    if matches!(action, FaultAction::ResetAfter(_)) {
+        // Deliver exactly the promised prefix, then sever the socket in
+        // both directions instead of completing the stream.
+        writer.flush()?;
+        let _ = raw.shutdown(Shutdown::Both);
+        return Ok(());
     }
     writer.flush()?;
     Ok(())
@@ -216,9 +283,14 @@ mod tests {
         )
         .unwrap();
         match read_header(&mut reader) {
-            Response::Ok { size, bitrate_bps } => {
+            Response::Ok {
+                size,
+                bitrate_bps,
+                degraded,
+            } => {
                 assert_eq!(size, 64 * 1024);
                 assert_eq!(bitrate_bps, 1_000_000.0);
+                assert!(!degraded, "a healthy origin never degrades");
             }
             Response::Err(e) => panic!("unexpected error: {e}"),
         }
@@ -320,5 +392,89 @@ mod tests {
     fn object_spec_duration() {
         let spec = ObjectSpec::new("x", 480_000, 48_000.0);
         assert!((spec.duration_secs() - 10.0).abs() < 1e-12);
+    }
+
+    /// One raw fetch against a faulty origin: returns the parsed header (if
+    /// any) and however much payload arrived before the connection ended.
+    fn raw_fetch(addr: std::net::SocketAddr, name: &str) -> (Option<Response>, Vec<u8>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_request(
+            &mut writer,
+            &Request {
+                name: name.into(),
+                offset: 0,
+            },
+        )
+        .unwrap();
+        let header = crate::protocol::read_response(&mut reader).ok();
+        let mut payload = Vec::new();
+        let _ = reader.read_to_end(&mut payload);
+        (header, payload)
+    }
+
+    #[test]
+    fn refused_connections_end_before_the_header() {
+        let server = OriginServer::start_with_faults(
+            OriginConfig {
+                objects: vec![ObjectSpec::new("clip", 4_096, 1e6)],
+                rate_limit_bps: 0.0,
+            },
+            FaultPlan::from_actions(vec![FaultAction::Refuse]),
+        )
+        .unwrap();
+        let (header, payload) = raw_fetch(server.addr(), "clip");
+        assert!(header.is_none(), "refusal must precede the header");
+        assert!(payload.is_empty());
+        // The schedule is exhausted: the next connection is healthy.
+        let (header, payload) = raw_fetch(server.addr(), "clip");
+        assert!(matches!(header, Some(Response::Ok { .. })));
+        assert_eq!(payload.len(), 4_096);
+        assert_eq!(server.fault_connections_seen(), 2);
+    }
+
+    #[test]
+    fn resets_and_truncations_deliver_exactly_the_promised_prefix() {
+        for make_action in [FaultAction::ResetAfter, FaultAction::TruncateAfter] {
+            let server = OriginServer::start_with_faults(
+                OriginConfig {
+                    objects: vec![ObjectSpec::new("clip", 32 * 1024, 1e6)],
+                    rate_limit_bps: 0.0,
+                },
+                FaultPlan::from_actions(vec![make_action(10_000)]),
+            )
+            .unwrap();
+            let (header, payload) = raw_fetch(server.addr(), "clip");
+            // The header still promises the full object ...
+            assert!(matches!(header, Some(Response::Ok { size: 32_768, .. })));
+            // ... but only the scheduled prefix arrives, byte-correct.
+            assert_eq!(payload.len(), 10_000);
+            assert_eq!(verify_content("clip", 0, &payload), None);
+        }
+    }
+
+    #[test]
+    fn stalls_pause_mid_payload_then_complete() {
+        let server = OriginServer::start_with_faults(
+            OriginConfig {
+                objects: vec![ObjectSpec::new("clip", 16 * 1024, 1e6)],
+                rate_limit_bps: 0.0,
+            },
+            FaultPlan::from_actions(vec![FaultAction::StallAt {
+                offset: 8_192,
+                millis: 150,
+            }]),
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let (header, payload) = raw_fetch(server.addr(), "clip");
+        assert!(matches!(header, Some(Response::Ok { .. })));
+        assert_eq!(payload.len(), 16 * 1024);
+        assert_eq!(verify_content("clip", 0, &payload), None);
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(140),
+            "the stall must actually pause the stream"
+        );
     }
 }

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Recovers the guard from a poisoned lock: a panicking handler must not
 /// wedge the whole pool (matches the `parking_lot` shim's behaviour).
@@ -145,6 +146,35 @@ impl OriginBudget {
         }
         OriginPermit { budget: self }
     }
+
+    /// Acquires one permit like [`acquire`](Self::acquire), but gives up
+    /// after `timeout`. A zero timeout degenerates to a try-acquire. The
+    /// resilient origin path uses this so an outage-congested budget cannot
+    /// pin a worker past its retry deadline.
+    pub(crate) fn acquire_within(&self, timeout: Duration) -> Option<OriginPermit<'_>> {
+        if !self.bounded {
+            return Some(OriginPermit { budget: self });
+        }
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            // A timeout too large to represent is an unbounded wait.
+            return Some(self.acquire());
+        };
+        let mut permits = lock_queue(&self.permits);
+        loop {
+            if *permits > 0 {
+                *permits -= 1;
+                return Some(OriginPermit { budget: self });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            permits = match self.available.wait_timeout(permits, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
 }
 
 /// RAII permit for one origin connection; dropped when the connection ends.
@@ -257,5 +287,22 @@ mod tests {
         let _a = budget.acquire();
         let _b = budget.acquire();
         let _c = budget.acquire();
+    }
+
+    #[test]
+    fn acquire_within_times_out_and_recovers() {
+        let budget = OriginBudget::new(1);
+        let held = budget.acquire();
+        // Exhausted: both the try-acquire and a short bounded wait fail.
+        assert!(budget.acquire_within(Duration::ZERO).is_none());
+        let start = std::time::Instant::now();
+        assert!(budget.acquire_within(Duration::from_millis(40)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(35));
+        // Freed: the bounded wait succeeds without sleeping the timeout out.
+        drop(held);
+        assert!(budget.acquire_within(Duration::from_secs(5)).is_some());
+        // Unlimited budgets never block.
+        let unlimited = OriginBudget::new(0);
+        assert!(unlimited.acquire_within(Duration::ZERO).is_some());
     }
 }

@@ -7,9 +7,13 @@
 //!
 //! ```text
 //! client → server:  GET <object-name> <start-offset>\n
-//! server → client:  OK <total-size> <bitrate-bps>\n   followed by payload bytes
+//! server → client:  OK <total-size> <bitrate-bps>[ degraded]\n   followed by payload bytes
 //!                   ERR <message>\n
 //! ```
+//!
+//! The optional trailing `degraded` token marks a response served from a
+//! proxy's cached prefix while the origin is unreachable: the header still
+//! carries the object's full size, but only the prefix follows.
 
 use crate::error::ProxyError;
 use std::io::{BufRead, Write};
@@ -32,6 +36,9 @@ pub enum Response {
         size: u64,
         /// Encoding bit-rate in bytes per second.
         bitrate_bps: f64,
+        /// The server is masking an origin outage: only its cached prefix
+        /// follows, not the full `size` bytes.
+        degraded: bool,
     },
     /// The request failed.
     Err(String),
@@ -85,7 +92,16 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ProxyError> {
 /// Propagates I/O errors from the writer.
 pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> Result<(), ProxyError> {
     match response {
-        Response::Ok { size, bitrate_bps } => writeln!(writer, "OK {size} {bitrate_bps}")?,
+        Response::Ok {
+            size,
+            bitrate_bps,
+            degraded: false,
+        } => writeln!(writer, "OK {size} {bitrate_bps}")?,
+        Response::Ok {
+            size,
+            bitrate_bps,
+            degraded: true,
+        } => writeln!(writer, "OK {size} {bitrate_bps} degraded")?,
         Response::Err(message) => writeln!(writer, "ERR {message}")?,
     }
     writer.flush()?;
@@ -112,7 +128,20 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ProxyError>
             .next()
             .and_then(|s| s.parse::<f64>().ok())
             .ok_or_else(|| ProxyError::Protocol(format!("bad OK header {trimmed:?}")))?;
-        Ok(Response::Ok { size, bitrate_bps })
+        let degraded = match parts.next() {
+            None => false,
+            Some("degraded") => true,
+            Some(extra) => {
+                return Err(ProxyError::Protocol(format!(
+                    "unexpected OK header token `{extra}` in {trimmed:?}"
+                )))
+            }
+        };
+        Ok(Response::Ok {
+            size,
+            bitrate_bps,
+            degraded,
+        })
     } else if let Some(message) = trimmed.strip_prefix("ERR ") {
         Ok(Response::Err(message.to_string()))
     } else {
@@ -155,23 +184,17 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        let mut buf = Vec::new();
-        write_response(
-            &mut buf,
-            &Response::Ok {
+        for degraded in [false, true] {
+            let mut buf = Vec::new();
+            let response = Response::Ok {
                 size: 1_000_000,
                 bitrate_bps: 48_000.0,
-            },
-        )
-        .unwrap();
-        let parsed = read_response(&mut BufReader::new(buf.as_slice())).unwrap();
-        assert_eq!(
-            parsed,
-            Response::Ok {
-                size: 1_000_000,
-                bitrate_bps: 48_000.0
-            }
-        );
+                degraded,
+            };
+            write_response(&mut buf, &response).unwrap();
+            let parsed = read_response(&mut BufReader::new(buf.as_slice())).unwrap();
+            assert_eq!(parsed, response);
+        }
 
         let mut buf = Vec::new();
         write_response(&mut buf, &Response::Err("unknown object".into())).unwrap();
@@ -180,8 +203,22 @@ mod tests {
     }
 
     #[test]
+    fn degraded_flag_is_spelled_out_on_the_wire() {
+        let parsed = read_response(&mut BufReader::new("OK 42 9.5 degraded\n".as_bytes())).unwrap();
+        assert_eq!(
+            parsed,
+            Response::Ok {
+                size: 42,
+                bitrate_bps: 9.5,
+                degraded: true
+            }
+        );
+    }
+
+    #[test]
     fn malformed_responses_are_rejected() {
         assert!(read_response(&mut BufReader::new("YES 5\n".as_bytes())).is_err());
         assert!(read_response(&mut BufReader::new("OK abc def\n".as_bytes())).is_err());
+        assert!(read_response(&mut BufReader::new("OK 5 9.5 partial\n".as_bytes())).is_err());
     }
 }

@@ -14,6 +14,7 @@ use crate::pool::{AcceptQueue, OriginBudget, OriginPermit};
 use crate::protocol::{
     read_request, read_response, write_request, write_response, Request, Response,
 };
+use crate::retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::store::PrefixStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -27,7 +28,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Size of each worker's reusable relay chunk buffer (the "ring"): origin
 /// tails stream through this fixed window, so relay memory per request is
@@ -68,6 +69,18 @@ pub struct ProxyConfig {
     /// to different shards never contend on the cache. `1` reproduces the
     /// single-engine proxy exactly.
     pub engine_shards: usize,
+    /// Per-attempt timeout for dialing the origin (must be non-zero).
+    pub connect_timeout: Duration,
+    /// Per-read timeout on origin sockets (must be non-zero): a stalled
+    /// "slow-loris" origin surfaces as a read error instead of wedging a
+    /// worker, and the resilient path reconnects mid-stream.
+    pub origin_read_timeout: Duration,
+    /// Retry/backoff bounds for origin opens (attempts, pauses and the
+    /// total deadline budget; see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds for the origin path (see
+    /// [`BreakerConfig`]; a zero failure threshold disables the breaker).
+    pub breaker: BreakerConfig,
 }
 
 impl ProxyConfig {
@@ -82,6 +95,10 @@ impl ProxyConfig {
             accept_queue_len: 1024,
             max_origin_connections: 32,
             engine_shards: 0,
+            connect_timeout: Duration::from_secs(1),
+            origin_read_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -106,6 +123,20 @@ pub struct ProxyStats {
     /// (`RING_BYTES`), this bounds per-request memory: it tracks the prefix
     /// the policy could admit, not the object size.
     pub peak_tail_bytes: u64,
+    /// Origin connection attempts made after a failed one (retries within
+    /// one open, across all requests).
+    pub origin_retries: u64,
+    /// Mid-stream reconnects that successfully resumed a transfer after a
+    /// reset, truncation or stall.
+    pub origin_resumes: u64,
+    /// Cumulative backoff time slept before origin retries, in
+    /// microseconds.
+    pub origin_backoff_micros: u64,
+    /// Circuit-breaker state transitions since the proxy started.
+    pub breaker_transitions: u64,
+    /// Requests served *degraded*: the origin was unavailable and the
+    /// response carried only the policy-cached prefix, flagged on the wire.
+    pub degraded_hits: u64,
 }
 
 #[derive(Debug)]
@@ -126,12 +157,20 @@ struct ProxyState {
     slot_names: Vec<Mutex<Vec<Option<String>>>>,
     estimator: Mutex<EwmaEstimator>,
     origin_budget: OriginBudget,
+    /// Per-origin circuit breaker guarding every dial-out.
+    breaker: CircuitBreaker,
+    /// Monotonic nonce decorrelating concurrent requests' backoff jitter.
+    open_nonce: AtomicU64,
     /// Hot request counters, updated lock-free with relaxed atomics (the
     /// per-request stats critical section is gone).
     requests: AtomicU64,
     bytes_from_cache: AtomicU64,
     bytes_from_origin: AtomicU64,
     peak_tail_bytes: AtomicU64,
+    origin_retries: AtomicU64,
+    origin_resumes: AtomicU64,
+    origin_backoff_micros: AtomicU64,
+    degraded_hits: AtomicU64,
 }
 
 /// A running caching proxy backed by a fixed worker pool.
@@ -175,6 +214,30 @@ impl CachingProxy {
                 "the accept queue needs a non-zero capacity".into(),
             ));
         }
+        if config.connect_timeout.is_zero() {
+            return Err(ProxyError::InvalidConfig(
+                "connect_timeout",
+                "origin dials need a non-zero timeout".into(),
+            ));
+        }
+        if config.origin_read_timeout.is_zero() {
+            return Err(ProxyError::InvalidConfig(
+                "origin_read_timeout",
+                "origin reads need a non-zero timeout".into(),
+            ));
+        }
+        if config.retry.max_attempts == 0 {
+            return Err(ProxyError::InvalidConfig(
+                "retry.max_attempts",
+                "at least one origin attempt is required".into(),
+            ));
+        }
+        if config.retry.deadline.is_zero() {
+            return Err(ProxyError::InvalidConfig(
+                "retry.deadline",
+                "the retry deadline budget must be non-zero".into(),
+            ));
+        }
         let shards = if config.engine_shards == 0 {
             config.worker_threads
         } else {
@@ -198,10 +261,16 @@ impl CachingProxy {
             slot_names: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             estimator: Mutex::new(EwmaEstimator::new(0.3)),
             origin_budget: OriginBudget::new(config.max_origin_connections),
+            breaker: CircuitBreaker::new(config.breaker),
+            open_nonce: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bytes_from_cache: AtomicU64::new(0),
             bytes_from_origin: AtomicU64::new(0),
             peak_tail_bytes: AtomicU64::new(0),
+            origin_retries: AtomicU64::new(0),
+            origin_resumes: AtomicU64::new(0),
+            origin_backoff_micros: AtomicU64::new(0),
+            degraded_hits: AtomicU64::new(0),
             config,
         });
 
@@ -269,7 +338,17 @@ impl CachingProxy {
                 .estimate_bps()
                 .unwrap_or(self.state.config.assumed_origin_bps),
             peak_tail_bytes: self.state.peak_tail_bytes.load(Ordering::Relaxed),
+            origin_retries: self.state.origin_retries.load(Ordering::Relaxed),
+            origin_resumes: self.state.origin_resumes.load(Ordering::Relaxed),
+            origin_backoff_micros: self.state.origin_backoff_micros.load(Ordering::Relaxed),
+            breaker_transitions: self.state.breaker.transitions(),
+            degraded_hits: self.state.degraded_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Current state of the origin circuit breaker.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.state.breaker.state()
     }
 
     /// Number of cache-engine shards this proxy is running with.
@@ -416,20 +495,46 @@ fn handle_client(
     // metadata is still unknown; the connection is opened *before* replying
     // to the client so that the tail can be relayed as it arrives. The
     // permit bounds concurrent origin connections for the whole transfer.
+    // Opens go through the resilient path (timeouts, retry/backoff, circuit
+    // breaker); when the origin stays unreachable but a prefix is cached,
+    // the request degrades to serving that prefix — the paper's partial
+    // caching masking the outage — flagged on the wire.
     let mut origin: Option<(BufReader<TcpStream>, OriginPermit<'_>)> = None;
+    let mut degraded = false;
     let (size, bitrate) = match known_meta {
         Some((size, bitrate)) => {
             if (cached.len() as u64) < size {
-                let (reader, _, _, permit) = open_origin(state, &name, cached.len() as u64)?
-                    .ok_or_else(|| ProxyError::UnknownObject(name.clone()))?;
-                origin = Some((reader, permit));
+                match open_origin(state, &name, cached.len() as u64) {
+                    OriginOutcome::Stream { reader, permit, .. } => {
+                        origin = Some((reader, permit));
+                    }
+                    OriginOutcome::Unknown => {
+                        write_response(&mut writer, &Response::Err("unknown object".into()))?;
+                        return Err(ProxyError::UnknownObject(name));
+                    }
+                    OriginOutcome::Unavailable => {
+                        if cached.is_empty() {
+                            write_response(
+                                &mut writer,
+                                &Response::Err("origin unavailable".into()),
+                            )?;
+                            return Err(ProxyError::OriginUnavailable(name));
+                        }
+                        degraded = true;
+                    }
+                }
             }
             (size, bitrate)
         }
         None => {
             // First contact: learn the metadata from the origin's header.
-            match open_origin(state, &name, cached.len() as u64)? {
-                Some((reader, size, bitrate_bps, permit)) => {
+            match open_origin(state, &name, cached.len() as u64) {
+                OriginOutcome::Stream {
+                    reader,
+                    size,
+                    bitrate_bps,
+                    permit,
+                } => {
                     state
                         .metadata
                         .lock()
@@ -437,9 +542,15 @@ fn handle_client(
                     origin = Some((reader, permit));
                     (size, bitrate_bps)
                 }
-                None => {
+                OriginOutcome::Unknown => {
                     write_response(&mut writer, &Response::Err("unknown object".into()))?;
                     return Err(ProxyError::UnknownObject(name));
+                }
+                OriginOutcome::Unavailable => {
+                    // Nothing cached, no metadata: the outage cannot be
+                    // masked.
+                    write_response(&mut writer, &Response::Err("origin unavailable".into()))?;
+                    return Err(ProxyError::OriginUnavailable(name));
                 }
             }
         }
@@ -452,11 +563,25 @@ fn handle_client(
         &Response::Ok {
             size,
             bitrate_bps: bitrate,
+            degraded,
         },
     )?;
     let prefix_bytes = cached.len().min(size as usize);
     writer.write_all(&cached[..prefix_bytes])?;
     writer.flush()?;
+
+    if degraded {
+        // Degraded hit: the range-correct prefix is all the client gets.
+        // Cache state, metadata and the bandwidth estimator are left
+        // untouched — an outage should not perturb what the policy learned
+        // from healthy transfers.
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        state
+            .bytes_from_cache
+            .fetch_add(prefix_bytes as u64, Ordering::Relaxed);
+        state.degraded_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(());
+    }
 
     let key = key_for(&name);
     let duration = size as f64 / bitrate;
@@ -473,7 +598,8 @@ fn handle_client(
     scratch.retained.clear();
     let mut tail_len: u64 = 0;
     let mut origin_bps: Option<f64> = None;
-    if let Some((mut origin_reader, _permit)) = origin.take() {
+    if origin.is_some() {
+        let expected_tail = size.saturating_sub(prefix_bytes as u64);
         let mut b_lo = state
             .estimator
             .lock()
@@ -481,11 +607,29 @@ fn handle_client(
             .unwrap_or(state.config.assumed_origin_bps);
         let started = Instant::now();
         let mut gapped = false;
-        loop {
-            let n = origin_reader.read(&mut scratch.chunk)?;
-            if n == 0 {
+        while tail_len < expected_tail {
+            let Some((origin_reader, _)) = origin.as_mut() else {
                 break;
-            }
+            };
+            let n = match origin_reader.read(&mut scratch.chunk) {
+                Ok(n) if n > 0 => n,
+                // Early EOF (mid-stream reset or truncated response) or a
+                // read timeout (stalled origin): drop the connection — and
+                // its budget permit — then resume from the current offset
+                // through the resilient open. If the origin stays down the
+                // client gets a short stream, and the store still keeps the
+                // contiguous bytes in hand.
+                Ok(_) | Err(_) => {
+                    origin = None;
+                    if let OriginOutcome::Stream { reader, permit, .. } =
+                        open_origin(state, &name, prefix_bytes as u64 + tail_len)
+                    {
+                        origin = Some((reader, permit));
+                        state.origin_resumes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+            };
             writer.write_all(&scratch.chunk[..n])?;
             writer.flush()?;
             tail_len += n as u64;
@@ -500,6 +644,7 @@ fn handle_client(
                 gapped = keep < n;
             }
         }
+        drop(origin);
         let secs = started.elapsed().as_secs_f64();
         if secs > 0.0 && tail_len > 0 {
             origin_bps = Some(tail_len as f64 / secs);
@@ -604,18 +749,94 @@ fn handle_client(
     Ok(())
 }
 
-/// Opens an origin connection for `name` starting at `offset` and reads the
-/// response header, holding one origin-budget permit for the connection's
-/// lifetime. Returns the positioned reader plus the object's size and
-/// bit-rate, or `None` if the origin does not know the object.
+/// Outcome of one resilient origin open.
+enum OriginOutcome<'a> {
+    /// The origin answered: a positioned reader plus the object's size and
+    /// bit-rate, with one origin-budget permit held for the connection's
+    /// lifetime.
+    Stream {
+        reader: BufReader<TcpStream>,
+        size: u64,
+        bitrate_bps: f64,
+        permit: OriginPermit<'a>,
+    },
+    /// The origin answered but does not know the object.
+    Unknown,
+    /// The origin could not be reached within the retry budget, or the
+    /// circuit breaker is open.
+    Unavailable,
+}
+
+/// Opens an origin connection for `name` starting at `offset` through the
+/// resilience stack: the circuit breaker gates every attempt, each attempt
+/// dials and reads under per-attempt timeouts, and failures back off
+/// exponentially (seeded jitter) until the attempt count or the deadline
+/// budget runs out. Transport failures are absorbed into
+/// [`OriginOutcome::Unavailable`] rather than propagated.
+fn open_origin<'a>(state: &'a ProxyState, name: &str, offset: u64) -> OriginOutcome<'a> {
+    let policy = state.config.retry;
+    let started = Instant::now();
+    let nonce = state.open_nonce.fetch_add(1, Ordering::Relaxed);
+    let mut attempt: u32 = 0;
+    loop {
+        if !state.breaker.allow() {
+            return OriginOutcome::Unavailable;
+        }
+        let remaining = policy.deadline.saturating_sub(started.elapsed());
+        let Some(permit) = state.origin_budget.acquire_within(remaining) else {
+            // The budget, not the origin, ran out of room: release the
+            // half-open probe slot (if we held it) without an outcome.
+            state.breaker.release_probe();
+            return OriginOutcome::Unavailable;
+        };
+        match try_open_origin(state, name, offset, permit) {
+            Ok(Some((reader, size, bitrate_bps, permit))) => {
+                state.breaker.record_success();
+                return OriginOutcome::Stream {
+                    reader,
+                    size,
+                    bitrate_bps,
+                    permit,
+                };
+            }
+            Ok(None) => {
+                // A definite answer from a healthy origin.
+                state.breaker.record_success();
+                return OriginOutcome::Unknown;
+            }
+            Err(_) => {
+                state.breaker.record_failure();
+                attempt += 1;
+                if attempt >= policy.max_attempts || started.elapsed() >= policy.deadline {
+                    return OriginOutcome::Unavailable;
+                }
+                let pause = policy
+                    .backoff(attempt - 1, nonce)
+                    .min(policy.deadline.saturating_sub(started.elapsed()));
+                if !pause.is_zero() {
+                    state
+                        .origin_backoff_micros
+                        .fetch_add(pause.as_micros() as u64, Ordering::Relaxed);
+                    std::thread::sleep(pause);
+                }
+                state.origin_retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One origin connection attempt under the per-attempt timeouts.
 #[allow(clippy::type_complexity)]
-fn open_origin<'a>(
-    state: &'a ProxyState,
+fn try_open_origin<'a>(
+    state: &ProxyState,
     name: &str,
     offset: u64,
+    permit: OriginPermit<'a>,
 ) -> Result<Option<(BufReader<TcpStream>, u64, f64, OriginPermit<'a>)>, ProxyError> {
-    let permit = state.origin_budget.acquire();
-    let stream = TcpStream::connect(state.config.origin_addr)?;
+    let stream =
+        TcpStream::connect_timeout(&state.config.origin_addr, state.config.connect_timeout)?;
+    stream.set_read_timeout(Some(state.config.origin_read_timeout))?;
+    stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut origin_writer = BufWriter::new(stream);
     write_request(
@@ -626,7 +847,9 @@ fn open_origin<'a>(
         },
     )?;
     match read_response(&mut reader)? {
-        Response::Ok { size, bitrate_bps } => Ok(Some((reader, size, bitrate_bps, permit))),
+        Response::Ok {
+            size, bitrate_bps, ..
+        } => Ok(Some((reader, size, bitrate_bps, permit))),
         Response::Err(_) => Ok(None),
     }
 }
@@ -649,6 +872,11 @@ mod tests {
         assert!(cfg.worker_threads >= 1);
         assert!(cfg.accept_queue_len >= 1);
         assert_eq!(cfg.engine_shards, 0, "0 = one shard per worker");
+        assert!(!cfg.connect_timeout.is_zero());
+        assert!(!cfg.origin_read_timeout.is_zero());
+        assert!(cfg.retry.max_attempts >= 1);
+        assert!(cfg.retry.deadline >= cfg.retry.max_backoff);
+        assert!(cfg.breaker.failure_threshold > 0, "breaker on by default");
     }
 
     #[test]
@@ -675,6 +903,18 @@ mod tests {
         assert!(CachingProxy::start(cfg).is_err());
         let mut cfg = ProxyConfig::new(addr, 1e6);
         cfg.accept_queue_len = 0;
+        assert!(CachingProxy::start(cfg).is_err());
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.connect_timeout = Duration::ZERO;
+        assert!(CachingProxy::start(cfg).is_err());
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.origin_read_timeout = Duration::ZERO;
+        assert!(CachingProxy::start(cfg).is_err());
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.retry.max_attempts = 0;
+        assert!(CachingProxy::start(cfg).is_err());
+        let mut cfg = ProxyConfig::new(addr, 1e6);
+        cfg.retry.deadline = Duration::ZERO;
         assert!(CachingProxy::start(cfg).is_err());
     }
 

@@ -108,4 +108,56 @@ mod tests {
         assert_eq!(RateLimiter::new(500.0).bytes_per_sec(), 500.0);
         assert_eq!(RateLimiter::new(-5.0).bytes_per_sec(), 0.0);
     }
+
+    #[test]
+    fn negative_and_non_finite_rates_disable_pacing() {
+        for rate in [-1.0, f64::NEG_INFINITY] {
+            let mut limiter = RateLimiter::new(rate);
+            assert!(limiter.is_unlimited(), "rate {rate} must be unlimited");
+            let start = Instant::now();
+            limiter.acquire(usize::MAX);
+            assert!(start.elapsed() < Duration::from_millis(50));
+            assert_eq!(limiter.bytes_per_sec(), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_byte_acquires_are_free_at_any_rate() {
+        // A zero-byte acquire consumes no budget, so a sequence of them
+        // never sleeps — even at a crawling 1 B/s.
+        let mut limiter = RateLimiter::new(1.0);
+        let start = Instant::now();
+        for _ in 0..1_000 {
+            limiter.acquire(0);
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn sub_byte_budgets_accumulate_fractionally() {
+        // 10 KB/s with 1-byte acquires: each byte owes ~0.1 ms. The float
+        // accumulator must charge the *cumulative* debt, not round each
+        // acquire down to zero sleep.
+        let mut limiter = RateLimiter::new(10_000.0);
+        let start = Instant::now();
+        for _ in 0..500 {
+            limiter.acquire(1);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        // 500 bytes at 10 KB/s = 50 ms of debt.
+        assert!(elapsed >= 0.04, "elapsed {elapsed}");
+        assert!(elapsed < 0.5, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn fast_early_bytes_do_not_earn_future_credit_beyond_the_curve() {
+        // The limiter paces against the cumulative curve `bytes = rate · t`:
+        // an initial burst is owed back on the very next acquire.
+        let mut limiter = RateLimiter::new(100_000.0);
+        let start = Instant::now();
+        limiter.acquire(10_000); // 0.1 s of budget, consumed instantly-ish
+        limiter.acquire(10_000); // must wait until t ≈ 0.2 s
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.15, "elapsed {elapsed}");
+    }
 }

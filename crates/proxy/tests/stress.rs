@@ -7,8 +7,10 @@
 
 use sc_cache::policy::PolicyKind;
 use sc_proxy::{
-    CachingProxy, ObjectSpec, OriginConfig, OriginServer, ProxyConfig, StreamingClient,
+    BreakerConfig, BreakerState, CachingProxy, FaultAction, FaultPlan, ObjectSpec, OriginConfig,
+    OriginServer, ProxyConfig, RetryPolicy, StreamingClient,
 };
+use std::time::Duration;
 
 /// Asserts the engine/store byte-accounting invariants on a drained proxy:
 /// every store entry belongs to a live engine entry and never exceeds the
@@ -140,6 +142,230 @@ fn graceful_shutdown_drains_and_joins() {
     // New connections are refused once shut down: either the connect fails
     // outright or the connection is dropped without a response.
     assert!(client.fetch(proxy.addr(), "clip").is_err());
+}
+
+/// A proxy config with test-friendly resilience bounds: short per-attempt
+/// timeouts, two attempts with millisecond backoff, and a breaker that
+/// trips after two consecutive failures and cools down in 80 ms.
+fn resilient_config(origin: std::net::SocketAddr, capacity: f64) -> ProxyConfig {
+    let mut config = ProxyConfig::new(origin, capacity);
+    config.connect_timeout = Duration::from_millis(500);
+    config.origin_read_timeout = Duration::from_millis(120);
+    config.retry = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        deadline: Duration::from_secs(2),
+        jitter_seed: 7,
+    };
+    config.breaker = BreakerConfig {
+        failure_threshold: 2,
+        open_duration: Duration::from_millis(80),
+    };
+    config
+}
+
+#[test]
+fn refused_connection_is_retried_and_served_in_full() {
+    let origin = OriginServer::start_with_faults(
+        OriginConfig {
+            objects: vec![ObjectSpec::new("clip", 32 * 1024, 1e6)],
+            rate_limit_bps: 0.0,
+        },
+        FaultPlan::from_actions(vec![FaultAction::Refuse]),
+    )
+    .unwrap();
+    let proxy = CachingProxy::start(resilient_config(origin.addr(), 1e9)).unwrap();
+    let report = StreamingClient::new().fetch(proxy.addr(), "clip").unwrap();
+    assert_eq!(report.bytes, 32 * 1024);
+    assert!(report.content_ok);
+    assert!(!report.degraded, "a successful retry is not degraded");
+    let stats = proxy.stats();
+    assert!(stats.origin_retries >= 1, "the refusal must cost a retry");
+    assert_eq!(stats.degraded_hits, 0);
+    assert_eq!(proxy.breaker_state(), BreakerState::Closed);
+}
+
+#[test]
+fn full_outage_serves_degraded_prefix_and_breaker_recovers_half_open() {
+    // A bandwidth-starved object so PB caches a substantial prefix, then a
+    // full outage window: connection 0 warms the cache, connections 1–2
+    // are refused (exactly the proxy's two attempts), everything after is
+    // healthy again.
+    let origin = OriginServer::start_with_faults(
+        OriginConfig {
+            objects: vec![ObjectSpec::new("clip", 240_000, 480_000.0)],
+            rate_limit_bps: 160_000.0,
+        },
+        FaultPlan::from_actions(vec![
+            FaultAction::None,
+            FaultAction::Refuse,
+            FaultAction::Refuse,
+        ]),
+    )
+    .unwrap();
+    let mut config = resilient_config(origin.addr(), 10_000_000.0);
+    // A wide-open window so the fast-fail fetch below cannot race the
+    // breaker into half-open on a slow machine.
+    config.breaker.open_duration = Duration::from_millis(400);
+    let proxy = CachingProxy::start(config).unwrap();
+    let client = StreamingClient::new();
+
+    // Warm the prefix over the healthy connection.
+    let warm = client.fetch(proxy.addr(), "clip").unwrap();
+    assert!(warm.content_ok && !warm.degraded);
+    let prefix = proxy.cached_prefix_len("clip");
+    assert!(
+        prefix > 0 && prefix < 240_000,
+        "PB must cache a strict prefix"
+    );
+
+    // Outage: both attempts are refused, the breaker trips open, and the
+    // request degrades to the cached prefix — range-correct and byte-exact.
+    let masked = client.fetch(proxy.addr(), "clip").unwrap();
+    assert!(masked.degraded, "outage must be flagged on the wire");
+    assert_eq!(masked.bytes as usize, prefix, "degraded hit is byte-exact");
+    assert!(masked.content_ok, "degraded prefix content must verify");
+    assert_eq!(proxy.breaker_state(), BreakerState::Open);
+
+    // While open the breaker fails fast: another degraded hit without a
+    // single new origin connection.
+    let dialed_before = origin.fault_connections_seen();
+    let fast = client.fetch(proxy.addr(), "clip").unwrap();
+    assert!(fast.degraded);
+    assert_eq!(fast.bytes as usize, prefix);
+    assert_eq!(
+        origin.fault_connections_seen(),
+        dialed_before,
+        "an open breaker must not dial the origin"
+    );
+
+    // After the cool-down the half-open probe finds a healthy origin and
+    // the breaker closes: full content again.
+    std::thread::sleep(Duration::from_millis(500));
+    let recovered = client.fetch(proxy.addr(), "clip").unwrap();
+    assert!(!recovered.degraded);
+    assert_eq!(recovered.bytes, 240_000);
+    assert!(recovered.content_ok);
+    assert_eq!(proxy.breaker_state(), BreakerState::Closed);
+
+    let stats = proxy.stats();
+    assert_eq!(stats.degraded_hits, 2);
+    assert!(stats.origin_retries >= 1);
+    assert!(
+        stats.breaker_transitions >= 3,
+        "closed→open, open→half-open, half-open→closed"
+    );
+}
+
+#[test]
+fn origin_death_degrades_warm_objects_and_errors_cold_ones() {
+    let mut origin = OriginServer::start(OriginConfig {
+        objects: vec![ObjectSpec::new("clip", 240_000, 480_000.0)],
+        rate_limit_bps: 160_000.0,
+    })
+    .unwrap();
+    let proxy = CachingProxy::start(resilient_config(origin.addr(), 10_000_000.0)).unwrap();
+    let client = StreamingClient::new();
+    client.fetch(proxy.addr(), "clip").unwrap();
+    let prefix = proxy.cached_prefix_len("clip");
+    assert!(prefix > 0);
+
+    // Kill the origin outright: dials now fail at the connect level.
+    origin.shutdown();
+    drop(origin);
+
+    let masked = client.fetch(proxy.addr(), "clip").unwrap();
+    assert!(masked.degraded);
+    assert_eq!(masked.bytes as usize, prefix);
+    assert!(masked.content_ok);
+    // No cached prefix and no metadata: nothing can mask the outage.
+    assert!(client.fetch(proxy.addr(), "ghost").is_err());
+    assert!(proxy.stats().degraded_hits >= 1);
+}
+
+#[test]
+fn mid_stream_faults_are_resumed_transparently() {
+    // Three cold fetches, each hitting a different mid-stream fault on its
+    // first connection: a truncated response, an abrupt reset, and a
+    // slow-loris stall longer than the proxy's read timeout. Every resume
+    // reconnects at the exact broken offset, so the client still sees full,
+    // verified content.
+    let origin = OriginServer::start_with_faults(
+        OriginConfig {
+            objects: (0..3)
+                .map(|i| ObjectSpec::new(format!("clip-{i}"), 64 * 1024, 1e6))
+                .collect(),
+            rate_limit_bps: 0.0,
+        },
+        FaultPlan::from_actions(vec![
+            FaultAction::TruncateAfter(8_192),
+            FaultAction::None,
+            FaultAction::ResetAfter(4_096),
+            FaultAction::None,
+            FaultAction::StallAt {
+                offset: 16_384,
+                millis: 400,
+            },
+            FaultAction::None,
+        ]),
+    )
+    .unwrap();
+    let proxy = CachingProxy::start(resilient_config(origin.addr(), 1e9)).unwrap();
+    let client = StreamingClient::new();
+    for i in 0..3 {
+        let report = client.fetch(proxy.addr(), &format!("clip-{i}")).unwrap();
+        assert_eq!(report.bytes, 64 * 1024, "clip-{i} must arrive in full");
+        assert!(
+            report.content_ok,
+            "clip-{i} content must survive the resume"
+        );
+        assert!(!report.degraded);
+    }
+    let stats = proxy.stats();
+    assert_eq!(
+        stats.origin_resumes, 3,
+        "each fault costs exactly one resume"
+    );
+    assert_byte_accounting(&proxy, 1e9);
+}
+
+#[test]
+fn graceful_shutdown_mid_outage_drains_and_joins() {
+    let origin = OriginServer::start_with_faults(
+        OriginConfig {
+            objects: vec![ObjectSpec::new("clip", 240_000, 480_000.0)],
+            rate_limit_bps: 160_000.0,
+        },
+        FaultPlan::refuse_window(1, 64),
+    )
+    .unwrap();
+    let mut config = resilient_config(origin.addr(), 10_000_000.0);
+    // Long enough for the shutdown to land mid-retry-loop.
+    config.retry.deadline = Duration::from_millis(400);
+    config.retry.max_attempts = 16;
+    config.breaker.failure_threshold = 1_000; // keep it retrying, not tripping
+    let mut proxy = CachingProxy::start(config).unwrap();
+    let client = StreamingClient::new();
+    client.fetch(proxy.addr(), "clip").unwrap();
+    let prefix = proxy.cached_prefix_len("clip");
+    assert!(prefix > 0);
+
+    // One request enters the outage (it will spin in the retry loop), then
+    // the proxy shuts down while it is in flight: shutdown must drain the
+    // request — served degraded from the prefix — and join every worker.
+    let addr = proxy.addr();
+    let in_flight = std::thread::spawn(move || StreamingClient::new().fetch(addr, "clip"));
+    std::thread::sleep(Duration::from_millis(60));
+    proxy.shutdown();
+    let report = in_flight
+        .join()
+        .unwrap()
+        .expect("the in-flight request must be drained, not dropped");
+    assert!(report.degraded);
+    assert_eq!(report.bytes as usize, prefix);
+    assert!(report.content_ok);
+    assert_eq!(proxy.stats().degraded_hits, 1);
 }
 
 #[test]

@@ -201,6 +201,78 @@ impl EstimatorKind {
     }
 }
 
+/// A stochastic outage model for the origin paths of the session
+/// simulator — the deterministic counterpart of the runnable proxy's
+/// fault-injection layer (`sc_proxy`'s `FaultPlan`).
+///
+/// Each path alternates between *up* and *down* periods whose lengths are
+/// drawn from exponential distributions with means `mtbf_secs` (mean time
+/// between failures) and `mttr_secs` (mean time to repair). While a path is
+/// down its capacity is multiplied by `residual_capacity_fraction` — a
+/// brown-out rather than a hard zero, which keeps the processor-sharing
+/// core's positive-capacity invariant intact (a full outage is approximated
+/// by a small residual such as the default 1 %).
+///
+/// The whole outage timeline is pre-generated from a seed derived from the
+/// run seed ([`crate::exec::fault_seed`]) before the event loop starts, so
+/// runs remain byte-identical at any `SC_SIM_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathFaultModel {
+    /// Mean up-time between outages, in seconds (exponentially
+    /// distributed).
+    pub mtbf_secs: f64,
+    /// Mean outage duration, in seconds (exponentially distributed).
+    pub mttr_secs: f64,
+    /// Multiplier applied to a path's capacity while it is down, in
+    /// `(0, 1]`.
+    pub residual_capacity_fraction: f64,
+}
+
+impl Default for PathFaultModel {
+    /// One outage per simulated hour on average, repaired in a minute,
+    /// with 1 % of the path capacity surviving the outage.
+    fn default() -> Self {
+        PathFaultModel {
+            mtbf_secs: 3_600.0,
+            mttr_secs: 60.0,
+            residual_capacity_fraction: 0.01,
+        }
+    }
+}
+
+impl PathFaultModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FaultModel`] when either mean is not positive
+    /// and finite or the residual capacity fraction is outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.mtbf_secs.is_finite() || self.mtbf_secs <= 0.0 {
+            return Err(SimError::FaultModel(format!(
+                "mean time between failures must be positive and finite, got {}",
+                self.mtbf_secs
+            )));
+        }
+        if !self.mttr_secs.is_finite() || self.mttr_secs <= 0.0 {
+            return Err(SimError::FaultModel(format!(
+                "mean time to repair must be positive and finite, got {}",
+                self.mttr_secs
+            )));
+        }
+        if !self.residual_capacity_fraction.is_finite()
+            || self.residual_capacity_fraction <= 0.0
+            || self.residual_capacity_fraction > 1.0
+        {
+            return Err(SimError::FaultModel(format!(
+                "residual capacity fraction must lie in (0, 1], got {}",
+                self.residual_capacity_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Error returned when a [`SimulationConfig`] is invalid.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -218,6 +290,8 @@ pub enum SimError {
     Estimator(String),
     /// The session-mode egress bin count was zero.
     InvalidEgressBins,
+    /// The path fault model parameters were invalid.
+    FaultModel(String),
 }
 
 impl fmt::Display for SimError {
@@ -236,6 +310,7 @@ impl fmt::Display for SimError {
             SimError::InvalidEgressBins => {
                 write!(f, "session egress accumulation needs at least one bin")
             }
+            SimError::FaultModel(why) => write!(f, "invalid path fault model: {why}"),
         }
     }
 }
@@ -266,6 +341,10 @@ pub struct SimulationConfig {
     /// Number of fixed-width time bins of the session-mode
     /// origin-egress-over-time curve (session mode only).
     pub session_egress_bins: usize,
+    /// Optional path outage model (session mode only). `None` — the
+    /// default — injects no faults and leaves every golden-pinned result
+    /// bit-for-bit unchanged.
+    pub path_faults: Option<PathFaultModel>,
     /// Base seed; replicated runs use `seed`, `seed + 1`, ….
     pub seed: u64,
 }
@@ -281,6 +360,7 @@ impl Default for SimulationConfig {
             estimator: EstimatorKind::Oracle,
             warmup_fraction: 0.5,
             session_egress_bins: 24,
+            path_faults: None,
             seed: 1,
         }
     }
@@ -339,6 +419,9 @@ impl SimulationConfig {
         }
         self.bandwidth_model.validate()?;
         self.estimator.validate()?;
+        if let Some(faults) = &self.path_faults {
+            faults.validate()?;
+        }
         self.workload
             .validate()
             .map_err(|e| SimError::Workload(e.to_string()))?;
@@ -406,6 +489,51 @@ mod tests {
             VariabilityKind::Constant.model().coefficient_of_variation(),
             0.0
         );
+    }
+
+    #[test]
+    fn fault_model_validation() {
+        assert!(PathFaultModel::default().validate().is_ok());
+        for bad in [
+            PathFaultModel {
+                mtbf_secs: 0.0,
+                ..PathFaultModel::default()
+            },
+            PathFaultModel {
+                mtbf_secs: f64::INFINITY,
+                ..PathFaultModel::default()
+            },
+            PathFaultModel {
+                mttr_secs: -1.0,
+                ..PathFaultModel::default()
+            },
+            PathFaultModel {
+                residual_capacity_fraction: 0.0,
+                ..PathFaultModel::default()
+            },
+            PathFaultModel {
+                residual_capacity_fraction: 1.5,
+                ..PathFaultModel::default()
+            },
+            PathFaultModel {
+                residual_capacity_fraction: f64::NAN,
+                ..PathFaultModel::default()
+            },
+        ] {
+            assert!(matches!(bad.validate(), Err(SimError::FaultModel(_))));
+            let mut c = SimulationConfig::small();
+            c.path_faults = Some(bad);
+            assert!(c.validate().is_err());
+        }
+        // The boundary residual 1.0 (an outage with no capacity effect) is
+        // legal.
+        assert!(PathFaultModel {
+            residual_capacity_fraction: 1.0,
+            ..PathFaultModel::default()
+        }
+        .validate()
+        .is_ok());
+        assert_eq!(SimulationConfig::default().path_faults, None);
     }
 
     #[test]

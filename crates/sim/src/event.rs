@@ -20,7 +20,8 @@ use std::collections::HashSet;
 
 /// What happened, attached to every scheduled event.
 ///
-/// The payload is a session index into the simulator's session table.
+/// The payload is a session index into the simulator's session table for
+/// the session events, and a path index for the fault events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A session arrives: it performs its cache access and (if any origin
@@ -31,6 +32,12 @@ pub enum EventKind {
     TransferComplete(u32),
     /// A session's playback window ends: the concurrent-viewer count drops.
     PlaybackEnd(u32),
+    /// A path outage begins: the path's capacity drops to its residual
+    /// fraction and every affected session re-shares.
+    PathDown(u32),
+    /// A path outage ends: full capacity returns and every affected
+    /// session re-shares.
+    PathUp(u32),
 }
 
 /// A scheduled event, as returned by [`EventQueue::pop`].

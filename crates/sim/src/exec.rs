@@ -53,6 +53,17 @@ pub fn bandwidth_seed(run_seed: u64) -> u64 {
     run_seed ^ 0x9e37_79b9_7f4a_7c15
 }
 
+/// Derives the path-outage-timeline seed from a run seed.
+///
+/// Fault injection draws its exponential up/down periods from a stream
+/// that is decoupled from both workload generation (the run seed itself)
+/// and the bandwidth realisation ([`bandwidth_seed`]), so enabling or
+/// re-parameterising the fault model never perturbs which requests arrive
+/// or what the healthy path capacities are — only when outages strike.
+pub fn fault_seed(run_seed: u64) -> u64 {
+    run_seed ^ 0xc2b2_ae3d_27d4_eb4f
+}
+
 /// Configuration of the execution layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {

@@ -14,12 +14,14 @@
 //! probe) affects partial caching under that drift.
 
 mod estimator_figures;
+mod fault_figures;
 mod figures;
 mod session_figures;
 mod table1;
 mod value_figures;
 
 pub use estimator_figures::{fig13, fig13_with, FIG13_ESTIMATORS};
+pub use fault_figures::{fig_faults, fig_faults_with, FIG_FAULTS_MTTRS, FIG_FAULTS_POLICIES};
 pub use figures::{
     fig5, fig6, fig7, fig7_with, fig8, fig8_with, fig9, policy_comparison_figure,
     policy_comparison_figure_with_model,

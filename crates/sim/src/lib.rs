@@ -64,7 +64,9 @@ pub mod session;
 pub mod sweep;
 
 pub use bandwidth::{BandwidthProvider, EstimatorBank};
-pub use config::{BandwidthModel, EstimatorKind, SimError, SimulationConfig, VariabilityKind};
+pub use config::{
+    BandwidthModel, EstimatorKind, PathFaultModel, SimError, SimulationConfig, VariabilityKind,
+};
 pub use delivery::{deliver, DeliveryOutcome};
 pub use event::{Event, EventKind, EventQueue};
 pub use exec::{ExecConfig, ParallelExecutor, SharedWorkload, SimWorker};
@@ -79,6 +81,7 @@ pub use runner::{
     run_sessions_replicated_with, run_simulation, RunResult,
 };
 pub use session::{
-    run_session_grid, simulate_sessions, NoCacheHooks, SessionFinal, SessionHooks,
-    SessionRunResult, SessionSimOutput, SessionSpec, SessionState, SessionWorker,
+    run_session_grid, simulate_sessions, simulate_sessions_with_faults, NoCacheHooks,
+    PathFaultTimeline, SessionFinal, SessionHooks, SessionRunResult, SessionSimOutput, SessionSpec,
+    SessionState, SessionWorker,
 };

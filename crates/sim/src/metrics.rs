@@ -151,6 +151,14 @@ pub struct SessionMetrics {
     pub egress_bins_bytes: Vec<f64>,
     /// The observation horizon: the end of the last playback window.
     pub horizon_secs: f64,
+    /// Total path down-time injected by the fault model, summed over all
+    /// paths and clamped to the horizon, in seconds. Zero when fault
+    /// injection is off.
+    pub outage_secs: f64,
+    /// Playback time sessions spent inside a path outage *without*
+    /// stalling, summed over all sessions, in seconds — the cached prefix
+    /// masking the fault. Zero when fault injection is off.
+    pub masked_stall_secs: f64,
 }
 
 impl SessionMetrics {
@@ -171,6 +179,7 @@ impl SessionMetrics {
         let bytes_requested: f64 = states.iter().map(|s| s.spec.size_bytes).sum();
         let bytes_from_cache: f64 = states.iter().map(|s| s.prefix_bytes).sum();
         let origin_bytes_total: f64 = states.iter().map(|s| s.downloaded_bytes).sum();
+        let masked_stall_secs: f64 = states.iter().map(|s| s.masked_stall_secs).sum();
         SessionMetrics {
             sessions: states.len() as u64,
             viewer_seconds,
@@ -198,6 +207,10 @@ impl SessionMetrics {
             origin_bytes_total,
             egress_bins_bytes,
             horizon_secs,
+            // The outage total lives on the timeline, not the sessions;
+            // the caller (`simulate_sessions_with_faults`) fills it in.
+            outage_secs: 0.0,
+            masked_stall_secs,
         }
     }
 
@@ -236,6 +249,8 @@ impl SessionMetrics {
             origin_bytes_total: runs.iter().map(|m| m.origin_bytes_total).sum::<f64>() / n,
             egress_bins_bytes,
             horizon_secs: runs.iter().map(|m| m.horizon_secs).sum::<f64>() / n,
+            outage_secs: runs.iter().map(|m| m.outage_secs).sum::<f64>() / n,
+            masked_stall_secs: runs.iter().map(|m| m.masked_stall_secs).sum::<f64>() / n,
         }
     }
 }
@@ -306,6 +321,40 @@ mod tests {
     }
 
     #[test]
+    fn rebuffer_dust_threshold_counts_strictly_above_epsilon_only() {
+        use crate::session::{SessionSpec, SessionState, REBUFFER_EPSILON_SECS};
+        let spec = SessionSpec {
+            path: 0,
+            arrival_secs: 0.0,
+            duration_secs: 10.0,
+            rate_bps: 1_000.0,
+            size_bytes: 10_000.0,
+        };
+        let make = |stall: f64| {
+            let mut s = SessionState::begin(spec, 0.0);
+            s.rebuffer_secs = stall;
+            s
+        };
+        // Exactly at the threshold (and below it): float-accumulation
+        // dust, not a rebuffer event.
+        let at = make(REBUFFER_EPSILON_SECS);
+        let below = make(REBUFFER_EPSILON_SECS / 2.0);
+        // The next representable value above the threshold: a real stall.
+        let above = make(REBUFFER_EPSILON_SECS * (1.0 + f64::EPSILON));
+        assert!(above.rebuffer_secs > REBUFFER_EPSILON_SECS);
+        for (state, expected) in [(at, 0.0), (below, 0.0), (above, 1.0)] {
+            let m = SessionMetrics::from_sessions(&[state], 10.0, 1, 10.0, vec![0.0]);
+            assert_eq!(
+                m.rebuffer_probability,
+                expected,
+                "stall of {:e} s must {} as a rebuffer",
+                m.avg_rebuffer_secs,
+                if expected > 0.0 { "count" } else { "not count" }
+            );
+        }
+    }
+
+    #[test]
     fn session_metrics_average_is_element_wise() {
         let a = SessionMetrics {
             sessions: 10,
@@ -318,6 +367,8 @@ mod tests {
             origin_bytes_total: 1_000.0,
             egress_bins_bytes: vec![600.0, 400.0],
             horizon_secs: 50.0,
+            outage_secs: 10.0,
+            masked_stall_secs: 4.0,
         };
         let b = SessionMetrics {
             sessions: 20,
@@ -330,6 +381,8 @@ mod tests {
             origin_bytes_total: 3_000.0,
             egress_bins_bytes: vec![1_000.0, 2_000.0],
             horizon_secs: 70.0,
+            outage_secs: 20.0,
+            masked_stall_secs: 8.0,
         };
         let avg = SessionMetrics::average(&[a, b]);
         assert_eq!(avg.sessions, 15);
@@ -342,6 +395,8 @@ mod tests {
         assert!((avg.origin_bytes_total - 2_000.0).abs() < 1e-12);
         assert_eq!(avg.egress_bins_bytes, vec![800.0, 1_200.0]);
         assert!((avg.horizon_secs - 60.0).abs() < 1e-12);
+        assert!((avg.outage_secs - 15.0).abs() < 1e-12);
+        assert!((avg.masked_stall_secs - 6.0).abs() < 1e-12);
         assert_eq!(SessionMetrics::average(&[]), SessionMetrics::default());
     }
 }

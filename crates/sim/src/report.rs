@@ -259,6 +259,8 @@ mod tests {
                 origin_bytes_total: 2.5e9,
                 egress_bins_bytes: vec![1.5e9, 1e9],
                 horizon_secs: 4e4,
+                outage_secs: 0.0,
+                masked_stall_secs: 0.0,
             },
         );
         fig.series.push(pb);

@@ -32,12 +32,14 @@
 //! without the heap or the incremental bookkeeping and must match bitwise.
 
 use crate::bandwidth::{BandwidthProvider, EstimatorBank};
-use crate::config::{SimError, SimulationConfig};
+use crate::config::{PathFaultModel, SimError, SimulationConfig};
 use crate::event::{EventKind, EventQueue};
-use crate::exec::{bandwidth_seed, run_grid_with, GridRunner, ParallelExecutor, SharedWorkload};
+use crate::exec::{
+    bandwidth_seed, fault_seed, run_grid_with, GridRunner, ParallelExecutor, SharedWorkload,
+};
 use crate::metrics::SessionMetrics;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sc_cache::policy::UtilityPolicy;
 use sc_cache::CacheEngine;
 use std::sync::Arc;
@@ -171,6 +173,114 @@ impl EgressAccumulator {
     }
 }
 
+/// Pre-generated per-path outage intervals for one simulation run.
+///
+/// The timeline is drawn *before* the event loop starts — path by path,
+/// alternating exponential up (`mtbf_secs`) and down (`mttr_secs`) periods
+/// from a single seeded RNG — so the realised outages are a pure function
+/// of `(n_paths, horizon, model, seed)` and the simulation stays
+/// byte-identical at any `SC_SIM_THREADS`. Down periods that begin before
+/// the horizon keep their full sampled length (a transfer outlasting the
+/// horizon still sees the repair), while sampling stops at the first
+/// up-period start beyond it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathFaultTimeline {
+    /// Sorted, disjoint `(down_start, down_end)` intervals per path.
+    outages: Vec<Vec<(f64, f64)>>,
+    /// Capacity multiplier while a path is down, in `(0, 1]`.
+    residual: f64,
+}
+
+/// One exponential draw with the given mean: `-mean · ln(1 − u)`.
+fn exp_sample(rng: &mut StdRng, mean_secs: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -mean_secs * (1.0 - u).ln()
+}
+
+impl PathFaultTimeline {
+    /// Draws the outage timeline for `n_paths` paths over
+    /// `[0, horizon_secs]` from `model`, seeded by `seed` (derive it from
+    /// the run seed via [`crate::exec::fault_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` fails [`PathFaultModel::validate`] — callers are
+    /// expected to validate configurations up front.
+    pub fn generate(n_paths: usize, horizon_secs: f64, model: PathFaultModel, seed: u64) -> Self {
+        model
+            .validate()
+            .expect("fault model must be validated before timeline generation");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outages = (0..n_paths)
+            .map(|_| {
+                let mut intervals = Vec::new();
+                let mut t = exp_sample(&mut rng, model.mtbf_secs);
+                while t < horizon_secs {
+                    let down = exp_sample(&mut rng, model.mttr_secs);
+                    intervals.push((t, t + down));
+                    t += down + exp_sample(&mut rng, model.mtbf_secs);
+                }
+                intervals
+            })
+            .collect();
+        PathFaultTimeline {
+            outages,
+            residual: model.residual_capacity_fraction,
+        }
+    }
+
+    /// Builds a timeline from explicit per-path outage intervals — for
+    /// hand-crafted scenarios and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any path's intervals are unsorted, overlapping, or
+    /// ill-formed (`end < start`, non-finite bounds), or if `residual` is
+    /// outside `(0, 1]`.
+    pub fn from_outages(outages: Vec<Vec<(f64, f64)>>, residual: f64) -> Self {
+        assert!(
+            residual.is_finite() && residual > 0.0 && residual <= 1.0,
+            "residual capacity fraction must lie in (0, 1], got {residual}"
+        );
+        for intervals in &outages {
+            let mut prev_end = f64::NEG_INFINITY;
+            for &(start, end) in intervals {
+                assert!(
+                    start.is_finite() && end.is_finite() && start <= end && start >= prev_end,
+                    "outage intervals must be finite, ordered and disjoint"
+                );
+                prev_end = end;
+            }
+        }
+        PathFaultTimeline { outages, residual }
+    }
+
+    /// Number of paths the timeline covers.
+    pub fn paths(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// The sorted `(down_start, down_end)` outage intervals of `path`.
+    pub fn outages(&self, path: usize) -> &[(f64, f64)] {
+        &self.outages[path]
+    }
+
+    /// Capacity multiplier applied while a path is down.
+    pub fn residual_capacity_fraction(&self) -> f64 {
+        self.residual
+    }
+
+    /// Total down-time summed over all paths, clamped to
+    /// `[0, horizon_secs]`.
+    pub fn outage_secs_within(&self, horizon_secs: f64) -> f64 {
+        self.outages
+            .iter()
+            .flatten()
+            .map(|&(start, end)| (end.min(horizon_secs) - start.min(horizon_secs)).max(0.0))
+            .sum()
+    }
+}
+
 /// The evolving state of one session.
 ///
 /// Public so the naive fluid reference model can drive the *identical*
@@ -195,6 +305,10 @@ pub struct SessionState {
     /// Accumulated time during which the playback buffer was drained
     /// (cumulative demand exceeded available bytes), in seconds.
     pub rebuffer_secs: f64,
+    /// Playback time spent inside a path outage *without* stalling, in
+    /// seconds — the cached prefix (plus whatever buffer the session had
+    /// built) masking the fault. Zero unless fault injection is active.
+    pub masked_stall_secs: f64,
     /// Whether the session currently holds a share on its path.
     pub transferring: bool,
     /// Time the origin transfer finished (the arrival time for full hits);
@@ -215,6 +329,7 @@ impl SessionState {
             share_bps: 0.0,
             last_update_secs: spec.arrival_secs,
             rebuffer_secs: 0.0,
+            masked_stall_secs: 0.0,
             transferring: false,
             transfer_end_secs: f64::NAN,
         }
@@ -229,6 +344,15 @@ impl SessionState {
     /// function at exactly the same instants, which is what makes their
     /// outputs bitwise comparable.
     pub fn advance(&mut self, to: f64, egress: &mut EgressAccumulator) {
+        self.advance_masked(to, egress, false);
+    }
+
+    /// [`SessionState::advance`] with outage attribution: when `path_down`
+    /// is set, the playback time of this segment that did *not* stall is
+    /// credited to [`SessionState::masked_stall_secs`] — the fault-aware
+    /// event loop guarantees no advance segment straddles an outage
+    /// boundary, so the flag is well-defined per segment.
+    pub fn advance_masked(&mut self, to: f64, egress: &mut EgressAccumulator, path_down: bool) {
         let from = self.last_update_secs;
         if to <= from {
             return;
@@ -248,7 +372,11 @@ impl SessionState {
             let f0 = self.spec.rate_bps * (from - self.spec.arrival_secs)
                 - (self.prefix_bytes + self.downloaded_bytes);
             let slope = self.spec.rate_bps - rate;
-            self.rebuffer_secs += positive_measure(f0, slope, rb_end - from);
+            let stalled = positive_measure(f0, slope, rb_end - from);
+            self.rebuffer_secs += stalled;
+            if path_down {
+                self.masked_stall_secs += ((rb_end - from) - stalled).max(0.0);
+            }
         }
 
         if self.transferring && rate > 0.0 {
@@ -361,6 +489,37 @@ where
     C: Fn(usize, f64) -> f64,
     H: SessionHooks + ?Sized,
 {
+    simulate_sessions_with_faults(specs, n_paths, capacity, hooks, egress_bins, None)
+}
+
+/// [`simulate_sessions`] with an optional pre-generated path outage
+/// timeline.
+///
+/// While a path is down, `capacity(path, t)` is multiplied by the
+/// timeline's residual fraction, and every affected session's
+/// processor-sharing allocation is re-divided at the outage boundaries.
+/// Sessions that keep playing through a down period accumulate
+/// [`SessionState::masked_stall_secs`] — the paper's partial-caching value
+/// proposition under failure: the cached prefix masking an origin outage.
+/// With `faults = None` this is exactly [`simulate_sessions`], event for
+/// event and bit for bit.
+///
+/// # Panics
+///
+/// As [`simulate_sessions`]; additionally panics if the timeline covers
+/// fewer paths than `n_paths`.
+pub fn simulate_sessions_with_faults<C, H>(
+    specs: &[SessionSpec],
+    n_paths: usize,
+    capacity: C,
+    hooks: &mut H,
+    egress_bins: usize,
+    faults: Option<&PathFaultTimeline>,
+) -> SessionSimOutput
+where
+    C: Fn(usize, f64) -> f64,
+    H: SessionHooks + ?Sized,
+{
     assert!(
         specs
             .windows(2)
@@ -390,6 +549,26 @@ where
     // arrivals resolve theirs from the seq instead, which keeps the
     // pre-scheduling loop allocation-free.)
 
+    // Outage boundaries are scheduled strictly after the arrivals so the
+    // seq == spec index identity above survives fault injection.
+    let residual = faults.map_or(1.0, |f| f.residual_capacity_fraction());
+    if let Some(timeline) = faults {
+        assert!(
+            timeline.paths() >= n_paths,
+            "fault timeline covers {} paths but the simulation has {n_paths}",
+            timeline.paths()
+        );
+        for path in 0..n_paths {
+            for &(down_start, down_end) in timeline.outages(path) {
+                queue.push(down_start, EventKind::PathDown(path as u32));
+                queue.push(down_end, EventKind::PathUp(path as u32));
+            }
+        }
+    }
+    // Whether each path is currently inside an outage; capacity is scaled
+    // by `residual` while true.
+    let mut path_down: Vec<bool> = vec![false; n_paths];
+
     let mut states: Vec<SessionState> = Vec::with_capacity(specs.len());
     // seq of the pending TransferComplete event per started session.
     let mut completion_seq: Vec<Option<u64>> = Vec::with_capacity(specs.len());
@@ -414,11 +593,14 @@ where
                 let spec = &specs[index];
                 let path = spec.path as usize;
 
-                let cap = capacity(path, now);
+                let mut cap = capacity(path, now);
                 assert!(
                     cap.is_finite() && cap > 0.0,
                     "path {path} capacity must be positive and finite, got {cap}"
                 );
+                if path_down[path] {
+                    cap *= residual;
+                }
                 let share_if_joined = cap / (path_members[path].len() + 1) as f64;
                 let prefix = hooks.on_arrival(index, spec, share_if_joined);
 
@@ -438,7 +620,13 @@ where
                     // Bring the existing members up to now at their old
                     // shares, admit the newcomer (highest index, so the
                     // member list stays ascending), then re-divide.
-                    advance_path(&path_members[path], &mut states, now, &mut egress);
+                    advance_path(
+                        &path_members[path],
+                        &mut states,
+                        now,
+                        &mut egress,
+                        path_down[path],
+                    );
                     path_members[path].push(index as u32);
                     reshare_path(
                         &path_members[path],
@@ -461,7 +649,13 @@ where
                 // every popped completion is live.
                 completion_seq[index] = None;
                 let path = states[index].spec.path as usize;
-                advance_path(&path_members[path], &mut states, now, &mut egress);
+                advance_path(
+                    &path_members[path],
+                    &mut states,
+                    now,
+                    &mut egress,
+                    path_down[path],
+                );
 
                 let state = &mut states[index];
                 state.downloaded_bytes = state.origin_bytes;
@@ -482,11 +676,14 @@ where
                     .expect("completing session is a path member");
                 members.remove(pos);
                 if !members.is_empty() {
-                    let cap = capacity(path, now);
+                    let mut cap = capacity(path, now);
                     assert!(
                         cap.is_finite() && cap > 0.0,
                         "path {path} capacity must be positive and finite, got {cap}"
                     );
+                    if path_down[path] {
+                        cap *= residual;
+                    }
                     reshare_path(
                         &path_members[path],
                         &mut states,
@@ -500,8 +697,43 @@ where
             EventKind::PlaybackEnd(s) => {
                 // Integrate the tail of the playback window (rebuffer time
                 // never accrues past it) before the viewer departs.
-                states[s as usize].advance(now, &mut egress);
+                let path = states[s as usize].spec.path as usize;
+                states[s as usize].advance_masked(now, &mut egress, path_down[path]);
                 viewers -= 1;
+            }
+            EventKind::PathDown(p) | EventKind::PathUp(p) => {
+                let path = p as usize;
+                let goes_down = matches!(event.kind, EventKind::PathDown(_));
+                // Integrate *every* arrived session on the path — members
+                // and buffer-only players alike — through the boundary
+                // under the outgoing state, so no advance segment ever
+                // straddles an outage edge (the invariant masked-stall
+                // attribution rests on). Sessions not yet arrived or past
+                // their window are no-ops inside advance.
+                for state in states.iter_mut() {
+                    if state.spec.path as usize == path {
+                        state.advance_masked(now, &mut egress, path_down[path]);
+                    }
+                }
+                path_down[path] = goes_down;
+                if !path_members[path].is_empty() {
+                    let mut cap = capacity(path, now);
+                    assert!(
+                        cap.is_finite() && cap > 0.0,
+                        "path {path} capacity must be positive and finite, got {cap}"
+                    );
+                    if goes_down {
+                        cap *= residual;
+                    }
+                    reshare_path(
+                        &path_members[path],
+                        &mut states,
+                        &mut completion_seq,
+                        &mut queue,
+                        cap,
+                        now,
+                    );
+                }
             }
         }
     }
@@ -516,13 +748,14 @@ where
         })
         .collect();
 
-    let metrics = SessionMetrics::from_sessions(
+    let mut metrics = SessionMetrics::from_sessions(
         &states,
         viewer_seconds,
         peak_viewers,
         horizon_secs,
         egress.into_bins(),
     );
+    metrics.outage_secs = faults.map_or(0.0, |f| f.outage_secs_within(horizon_secs));
     SessionSimOutput { metrics, finals }
 }
 
@@ -532,9 +765,10 @@ fn advance_path(
     states: &mut [SessionState],
     now: f64,
     egress: &mut EgressAccumulator,
+    path_down: bool,
 ) {
     for &m in members {
-        states[m as usize].advance(now, egress);
+        states[m as usize].advance_masked(now, egress, path_down);
     }
 }
 
@@ -703,12 +937,22 @@ impl SessionWorker {
             provider: &provider,
             metas,
         };
-        let output = simulate_sessions(
+        // The outage timeline (if any) is drawn up front from its own
+        // derived seed, spanning the playback horizon of the trace.
+        let timeline = config.path_faults.map(|model| {
+            let horizon_secs = specs
+                .iter()
+                .map(|s| s.arrival_secs + s.duration_secs)
+                .fold(0.0_f64, f64::max);
+            PathFaultTimeline::generate(catalog.len(), horizon_secs, model, fault_seed(self.seed))
+        });
+        let output = simulate_sessions_with_faults(
             &specs,
             catalog.len(),
             |path, time| provider.capacity_bps(path, time),
             &mut hooks,
             config.session_egress_bins,
+            timeline.as_ref(),
         );
 
         Ok(SessionRunResult {
@@ -949,6 +1193,138 @@ mod tests {
         assert_eq!(out.metrics.sessions, 0);
         assert_eq!(out.metrics.viewer_seconds, 0.0);
         assert!(out.finals.is_empty());
+    }
+
+    #[test]
+    fn fault_timeline_is_deterministic_and_well_formed() {
+        let model = PathFaultModel {
+            mtbf_secs: 300.0,
+            mttr_secs: 30.0,
+            residual_capacity_fraction: 0.05,
+        };
+        let a = PathFaultTimeline::generate(8, 10_000.0, model, 42);
+        let b = PathFaultTimeline::generate(8, 10_000.0, model, 42);
+        assert_eq!(a, b, "same seed must reproduce the same outages");
+        let c = PathFaultTimeline::generate(8, 10_000.0, model, 43);
+        assert_ne!(a, c, "a different seed must move the outages");
+        assert_eq!(a.paths(), 8);
+        assert_eq!(a.residual_capacity_fraction(), 0.05);
+        let mut saw_outage = false;
+        for path in 0..a.paths() {
+            let mut prev_end = f64::NEG_INFINITY;
+            for &(start, end) in a.outages(path) {
+                assert!(start >= prev_end && end >= start && start < 10_000.0);
+                prev_end = end;
+                saw_outage = true;
+            }
+        }
+        assert!(
+            saw_outage,
+            "with ~33 expected outages per path, none at all is a generation bug"
+        );
+        assert!(a.outage_secs_within(10_000.0) > 0.0);
+        // Clamping: no outage time is counted before t = 0.
+        assert_eq!(a.outage_secs_within(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_timeline_is_bitwise_identical_to_no_timeline() {
+        let specs = [
+            spec(0, 0.0, 100.0, 48_000.0),
+            spec(1, 10.0, 200.0, 24_000.0),
+            spec(0, 30.0, 60.0, 48_000.0),
+        ];
+        let plain = simulate_sessions(&specs, 2, |_, _| 40_000.0, &mut NoCacheHooks, 8);
+        let empty = PathFaultTimeline::from_outages(vec![Vec::new(), Vec::new()], 0.05);
+        let faulted = simulate_sessions_with_faults(
+            &specs,
+            2,
+            |_, _| 40_000.0,
+            &mut NoCacheHooks,
+            8,
+            Some(&empty),
+        );
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn cached_prefix_masks_an_outage_without_stalling() {
+        // The paper's resilience story in one scenario: half the object is
+        // cached, and the path is (almost) fully down for the entire first
+        // half of playback. The prefix alone covers demand until t = 50 on
+        // the half-rate path, so the outage is fully masked; after repair
+        // the 96 KB/s path outruns the 48 KB/s drain, so playback never
+        // stalls at all.
+        struct HalfPrefix;
+        impl SessionHooks for HalfPrefix {
+            fn on_arrival(&mut self, _i: usize, spec: &SessionSpec, _share: f64) -> f64 {
+                spec.size_bytes / 2.0
+            }
+        }
+        let timeline = PathFaultTimeline::from_outages(vec![vec![(0.0, 50.0)]], 0.05);
+        let out = simulate_sessions_with_faults(
+            &[spec(0, 0.0, 100.0, 48_000.0)],
+            1,
+            |_, _| 96_000.0,
+            &mut HalfPrefix,
+            4,
+            Some(&timeline),
+        );
+        let f = &out.finals[0];
+        assert_eq!(f.rebuffer_secs, 0.0, "the prefix must mask the outage");
+        assert!((out.metrics.masked_stall_secs - 50.0).abs() < 1e-9);
+        assert_eq!(out.metrics.outage_secs, 50.0);
+        assert_eq!(out.metrics.rebuffer_probability, 0.0);
+        // During the outage the session still trickled at the residual
+        // share (4.8 KB/s × 50 s), then finished at full capacity.
+        assert_eq!(f.downloaded_bytes, 2_400_000.0);
+        assert!((f.transfer_end_secs - 72.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_a_prefix_the_same_outage_stalls_playback() {
+        let timeline = PathFaultTimeline::from_outages(vec![vec![(0.0, 50.0)]], 0.05);
+        let out = simulate_sessions_with_faults(
+            &[spec(0, 0.0, 100.0, 48_000.0)],
+            1,
+            |_, _| 96_000.0,
+            &mut NoCacheHooks,
+            4,
+            Some(&timeline),
+        );
+        let f = &out.finals[0];
+        assert!(
+            f.rebuffer_secs > 40.0,
+            "a cold cache cannot mask a 50 s outage, stalled {}",
+            f.rebuffer_secs
+        );
+        assert_eq!(out.metrics.rebuffer_probability, 1.0);
+        assert!(out.metrics.masked_stall_secs < 10.0);
+    }
+
+    #[test]
+    fn worker_with_faults_is_deterministic_and_sees_outages() {
+        let healthy = SimulationConfig::small().with_cache_fraction(0.05);
+        let mut faulted = healthy;
+        faulted.path_faults = Some(PathFaultModel {
+            mtbf_secs: 1_200.0,
+            mttr_secs: 120.0,
+            residual_capacity_fraction: 0.02,
+        });
+        let a = SessionWorker::new(faulted, 7).run().unwrap();
+        let b = SessionWorker::new(faulted, 7).run().unwrap();
+        assert_eq!(a, b);
+        assert!(a.metrics.outage_secs > 0.0);
+        assert!(a.metrics.masked_stall_secs > 0.0);
+        let base = SessionWorker::new(healthy, 7).run().unwrap();
+        assert_eq!(base.metrics.outage_secs, 0.0);
+        assert_eq!(base.metrics.masked_stall_secs, 0.0);
+        assert!(
+            a.metrics.avg_rebuffer_secs >= base.metrics.avg_rebuffer_secs,
+            "outages cannot make rebuffering better: {} vs {}",
+            a.metrics.avg_rebuffer_secs,
+            base.metrics.avg_rebuffer_secs
+        );
     }
 
     #[test]

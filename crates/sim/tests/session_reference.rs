@@ -185,6 +185,9 @@ fn reference_simulate<H: SessionHooks>(
                 states[s as usize].advance(now, &mut egress);
                 viewers -= 1;
             }
+            // The reference model replays the fault-free contract only;
+            // outage events are never scheduled here.
+            EventKind::PathDown(_) | EventKind::PathUp(_) => unreachable!(),
         }
     }
 
