@@ -83,6 +83,7 @@ fn raw_fetch(addr: SocketAddr, name: &str, scratch: &mut [u8]) -> u64 {
     let size = match read_response(&mut reader).expect("response") {
         Response::Ok { size, .. } => size,
         Response::Err(e) => panic!("unexpected error response: {e}"),
+        Response::Busy { .. } => panic!("unexpected shed: this bench never overloads admission"),
     };
     let mut received: u64 = 0;
     while received < size {

@@ -3,7 +3,7 @@
 use crate::content::verify_content;
 use crate::error::ProxyError;
 use crate::protocol::{read_response, write_request, Request, Response};
-use std::io::{BufReader, BufWriter, Read};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
@@ -54,9 +54,10 @@ impl StreamingClient {
     ///
     /// # Errors
     ///
-    /// Returns [`ProxyError::UnknownObject`] if the server reports an error
-    /// and [`ProxyError::Io`]/[`ProxyError::Protocol`] for transport
-    /// failures.
+    /// Returns [`ProxyError::UnknownObject`] if the server reports an
+    /// error, [`ProxyError::Busy`] if it shed the request under overload
+    /// (the payload is the suggested retry pause in milliseconds), and
+    /// [`ProxyError::Io`]/[`ProxyError::Protocol`] for transport failures.
     pub fn fetch(&self, addr: SocketAddr, name: &str) -> Result<TransferReport, ProxyError> {
         // The clock starts at the request, so time spent by the server
         // before the first payload byte counts towards the startup delay.
@@ -79,6 +80,7 @@ impl StreamingClient {
                 degraded,
             } => (size, bitrate_bps, degraded),
             Response::Err(message) => return Err(ProxyError::UnknownObject(message)),
+            Response::Busy { retry_after_ms } => return Err(ProxyError::Busy(retry_after_ms)),
         };
         let mut received: u64 = 0;
         let mut startup_delay: f64 = 0.0;
@@ -122,6 +124,30 @@ impl StreamingClient {
             content_ok,
             degraded,
         })
+    }
+
+    /// Scrapes a proxy's `STATS` verb from `addr` and returns the raw
+    /// single-line JSON dump (see `sc_proxy::ProxyStats::to_json`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Io`] for transport failures and
+    /// [`ProxyError::Protocol`] if the server closed without answering.
+    pub fn stats(&self, addr: SocketAddr) -> Result<String, ProxyError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(b"STATS\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(ProxyError::Protocol(
+                "server closed without a STATS answer".into(),
+            ));
+        }
+        Ok(line.trim_end().to_string())
     }
 }
 

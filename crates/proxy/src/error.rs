@@ -18,6 +18,13 @@ pub enum ProxyError {
     OriginUnavailable(String),
     /// A configuration value was invalid (name, description).
     InvalidConfig(&'static str, String),
+    /// The server shed the request under overload before doing any work;
+    /// the payload is the suggested retry pause in milliseconds.
+    Busy(u64),
+    /// A write to the client socket timed out: the peer is reading too
+    /// slowly (or not at all) and the connection was dropped to protect
+    /// the worker pool.
+    ClientTimeout,
 }
 
 impl fmt::Display for ProxyError {
@@ -31,6 +38,12 @@ impl fmt::Display for ProxyError {
             }
             ProxyError::InvalidConfig(name, why) => {
                 write!(f, "invalid configuration for `{name}`: {why}")
+            }
+            ProxyError::Busy(retry_after_ms) => {
+                write!(f, "server busy, retry after {retry_after_ms} ms")
+            }
+            ProxyError::ClientTimeout => {
+                write!(f, "client socket write timed out (slow reader)")
             }
         }
     }
@@ -73,6 +86,8 @@ mod tests {
         assert!(ProxyError::InvalidConfig("rate", "negative".into())
             .to_string()
             .contains("rate"));
+        assert!(ProxyError::Busy(125).to_string().contains("125"));
+        assert!(ProxyError::ClientTimeout.to_string().contains("timed out"));
     }
 
     #[test]

@@ -293,6 +293,7 @@ mod tests {
                 assert!(!degraded, "a healthy origin never degrades");
             }
             Response::Err(e) => panic!("unexpected error: {e}"),
+            Response::Busy { .. } => panic!("the origin never sheds"),
         }
         let mut payload = Vec::new();
         reader.read_to_end(&mut payload).unwrap();

@@ -6,9 +6,17 @@
 //! the build environment has no crates.io access (see `shims/`); the
 //! `parking_lot` shim deliberately exposes no condition variables, so the
 //! blocking coordination lives here on the standard library directly.
+//!
+//! The accept queue is also where the proxy's admission control lives:
+//! entries carry their enqueue timestamp (workers shed requests whose queue
+//! wait blew the configured deadline), an optional hard cap bounds requests
+//! in flight (queued + being handled) with deterministic drop-oldest
+//! shedding, and relaxed atomics count sheds, cumulative queue wait and the
+//! peak backlog for `ProxyStats`.
 
 use std::collections::VecDeque;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -21,9 +29,38 @@ fn lock_queue<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
     }
 }
 
+/// An accepted connection waiting for a worker, stamped with its enqueue
+/// time so the worker that picks it up can judge the queue wait against
+/// the admission deadline.
+#[derive(Debug)]
+pub(crate) struct QueuedConn {
+    pub(crate) stream: TcpStream,
+    pub(crate) enqueued_at: Instant,
+}
+
+/// What [`AcceptQueue::push`] did with the connection.
+#[derive(Debug)]
+pub(crate) enum PushOutcome {
+    /// The queue is closed; the connection was dropped.
+    Closed,
+    /// The connection was enqueued. With the in-flight cap hit, admitting
+    /// it evicted the oldest queued connection, returned here so the
+    /// caller can answer it with `BUSY` (drop-oldest: the newest arrival
+    /// is the one most likely to still be listening).
+    Queued { shed: Option<QueuedConn> },
+    /// The in-flight cap is hit and nothing is queued to evict (every
+    /// admitted request is already being handled), so the newcomer itself
+    /// is shed.
+    ShedIncoming(TcpStream),
+}
+
 #[derive(Debug)]
 struct QueueInner {
-    connections: VecDeque<TcpStream>,
+    connections: VecDeque<QueuedConn>,
+    /// Connections popped by workers and still being handled; together
+    /// with `connections.len()` this is the in-flight total the admission
+    /// cap bounds.
+    active: usize,
     closed: bool,
 }
 
@@ -33,7 +70,9 @@ struct QueueInner {
 /// accept thread blocks, which stops it pulling connections off the
 /// listener: backpressure propagates to the OS listen backlog and from
 /// there to connecting clients, so overload slows clients down instead of
-/// growing proxy memory without bound.
+/// growing proxy memory without bound. With a nonzero `max_in_flight` the
+/// queue never blocks at that cap — it sheds deterministically instead
+/// (see [`PushOutcome`]), trading silence for an explicit `BUSY`.
 ///
 /// Closing the queue wakes every waiter; pops keep draining whatever was
 /// already accepted (graceful shutdown finishes queued requests) and return
@@ -44,33 +83,65 @@ pub(crate) struct AcceptQueue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Hard cap on queued + active connections; 0 disables the cap.
+    max_in_flight: usize,
+    shed: AtomicU64,
+    queue_wait_micros: AtomicU64,
+    peak_depth: AtomicU64,
 }
 
 impl AcceptQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, max_in_flight: usize) -> Self {
         AcceptQueue {
             inner: Mutex::new(QueueInner {
                 connections: VecDeque::with_capacity(capacity.min(1024)),
+                active: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            max_in_flight,
+            shed: AtomicU64::new(0),
+            queue_wait_micros: AtomicU64::new(0),
+            peak_depth: AtomicU64::new(0),
         }
     }
 
     /// Enqueues a connection, blocking while the queue is at capacity.
-    /// Returns `false` (dropping the stream) if the queue is closed.
-    pub(crate) fn push(&self, stream: TcpStream) -> bool {
+    /// At the in-flight cap the push never blocks: it sheds (and counts)
+    /// either the oldest queued connection or the newcomer instead.
+    pub(crate) fn push(&self, stream: TcpStream) -> PushOutcome {
         let mut inner = lock_queue(&self.inner);
         loop {
             if inner.closed {
-                return false;
+                return PushOutcome::Closed;
+            }
+            if self.max_in_flight > 0
+                && inner.connections.len() + inner.active >= self.max_in_flight
+            {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return match inner.connections.pop_front() {
+                    Some(oldest) => {
+                        inner.connections.push_back(QueuedConn {
+                            stream,
+                            enqueued_at: Instant::now(),
+                        });
+                        self.not_empty.notify_one();
+                        PushOutcome::Queued { shed: Some(oldest) }
+                    }
+                    None => PushOutcome::ShedIncoming(stream),
+                };
             }
             if inner.connections.len() < self.capacity {
-                inner.connections.push_back(stream);
+                inner.connections.push_back(QueuedConn {
+                    stream,
+                    enqueued_at: Instant::now(),
+                });
+                self.peak_depth
+                    .fetch_max(inner.connections.len() as u64, Ordering::Relaxed);
                 self.not_empty.notify_one();
-                return true;
+                return PushOutcome::Queued { shed: None };
             }
             inner = match self.not_full.wait(inner) {
                 Ok(guard) => guard,
@@ -81,13 +152,16 @@ impl AcceptQueue {
 
     /// Dequeues the next connection, blocking while the queue is empty.
     /// After [`close`](Self::close), keeps returning queued connections
-    /// until the backlog is drained, then `None`.
-    pub(crate) fn pop(&self) -> Option<TcpStream> {
+    /// until the backlog is drained, then `None`. The popped connection
+    /// occupies an in-flight slot until [`finish`](Self::finish) (use
+    /// [`InFlightSlot`] for panic-safe release).
+    pub(crate) fn pop(&self) -> Option<QueuedConn> {
         let mut inner = lock_queue(&self.inner);
         loop {
-            if let Some(stream) = inner.connections.pop_front() {
+            if let Some(conn) = inner.connections.pop_front() {
+                inner.active += 1;
                 self.not_full.notify_one();
-                return Some(stream);
+                return Some(conn);
             }
             if inner.closed {
                 return None;
@@ -99,6 +173,12 @@ impl AcceptQueue {
         }
     }
 
+    /// Releases the in-flight slot of one popped connection.
+    pub(crate) fn finish(&self) {
+        let mut inner = lock_queue(&self.inner);
+        inner.active = inner.active.saturating_sub(1);
+    }
+
     /// Closes the queue and wakes every blocked pusher and popper.
     pub(crate) fn close(&self) {
         let mut inner = lock_queue(&self.inner);
@@ -106,6 +186,53 @@ impl AcceptQueue {
         drop(inner);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Counts one shed decided outside the queue (a queue-wait deadline
+    /// miss in a worker); cap-driven sheds inside [`push`](Self::push)
+    /// count themselves.
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds one popped connection's queue wait to the cumulative total.
+    pub(crate) fn record_wait(&self, wait: Duration) {
+        let micros = u64::try_from(wait.as_micros()).unwrap_or(u64::MAX);
+        self.queue_wait_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total requests shed (cap evictions plus deadline misses).
+    pub(crate) fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative queue wait over all popped connections, in microseconds.
+    pub(crate) fn total_wait_micros(&self) -> u64 {
+        self.queue_wait_micros.load(Ordering::Relaxed)
+    }
+
+    /// Highest queue depth (excluding active handlers) ever observed.
+    pub(crate) fn peak_depth(&self) -> u64 {
+        self.peak_depth.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII in-flight slot of a popped connection: releases the slot on drop,
+/// so a panicking handler cannot leak admission capacity.
+#[derive(Debug)]
+pub(crate) struct InFlightSlot<'a> {
+    queue: &'a AcceptQueue,
+}
+
+impl<'a> InFlightSlot<'a> {
+    pub(crate) fn new(queue: &'a AcceptQueue) -> Self {
+        InFlightSlot { queue }
+    }
+}
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        self.queue.finish();
     }
 }
 
@@ -208,32 +335,39 @@ mod tests {
         client
     }
 
+    fn assert_queued(outcome: PushOutcome) {
+        assert!(
+            matches!(outcome, PushOutcome::Queued { shed: None }),
+            "expected a plain enqueue, got {outcome:?}"
+        );
+    }
+
     #[test]
     fn queue_delivers_in_fifo_order_and_drains_after_close() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let queue = AcceptQueue::new(4);
+        let queue = AcceptQueue::new(4, 0);
         let a = loopback_pair(&listener);
         let a_addr = a.local_addr().unwrap();
         let b = loopback_pair(&listener);
         let b_addr = b.local_addr().unwrap();
-        assert!(queue.push(a));
-        assert!(queue.push(b));
+        assert_queued(queue.push(a));
+        assert_queued(queue.push(b));
         queue.close();
         // Queued connections survive the close (graceful drain) ...
-        assert_eq!(queue.pop().unwrap().local_addr().unwrap(), a_addr);
-        assert_eq!(queue.pop().unwrap().local_addr().unwrap(), b_addr);
+        assert_eq!(queue.pop().unwrap().stream.local_addr().unwrap(), a_addr);
+        assert_eq!(queue.pop().unwrap().stream.local_addr().unwrap(), b_addr);
         // ... and only then does the queue report exhaustion.
         assert!(queue.pop().is_none());
         // New connections are refused after close.
         let c = loopback_pair(&listener);
-        assert!(!queue.push(c));
+        assert!(matches!(queue.push(c), PushOutcome::Closed));
     }
 
     #[test]
     fn full_queue_blocks_pushers_until_a_pop() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let queue = Arc::new(AcceptQueue::new(1));
-        assert!(queue.push(loopback_pair(&listener)));
+        let queue = Arc::new(AcceptQueue::new(1, 0));
+        assert_queued(queue.push(loopback_pair(&listener)));
         let pushed = Arc::new(AtomicUsize::new(0));
         let handle = {
             let queue = Arc::clone(&queue);
@@ -253,6 +387,98 @@ mod tests {
         assert!(queue.pop().is_some());
         handle.join().unwrap();
         assert_eq!(pushed.load(Ordering::SeqCst), 1);
+        queue.close();
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_oldest_queued_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let queue = AcceptQueue::new(8, 2);
+        let a = loopback_pair(&listener);
+        let a_addr = a.local_addr().unwrap();
+        let b = loopback_pair(&listener);
+        let b_addr = b.local_addr().unwrap();
+        assert_queued(queue.push(a));
+        assert_queued(queue.push(b));
+        // Two in flight (both queued): the cap evicts the oldest (a) to
+        // admit the newcomer.
+        let c = loopback_pair(&listener);
+        let c_addr = c.local_addr().unwrap();
+        match queue.push(c) {
+            PushOutcome::Queued { shed: Some(old) } => {
+                assert_eq!(old.stream.local_addr().unwrap(), a_addr);
+            }
+            other => panic!("expected drop-oldest shed, got {other:?}"),
+        }
+        assert_eq!(queue.shed_count(), 1);
+        // FIFO order among the survivors holds: b then c.
+        assert_eq!(queue.pop().unwrap().stream.local_addr().unwrap(), b_addr);
+        assert_eq!(queue.pop().unwrap().stream.local_addr().unwrap(), c_addr);
+        queue.close();
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_incoming_when_nothing_is_queued() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let queue = AcceptQueue::new(8, 2);
+        assert_queued(queue.push(loopback_pair(&listener)));
+        assert_queued(queue.push(loopback_pair(&listener)));
+        // Workers take both: in-flight stays 2 (all active, none queued).
+        let _a = queue.pop().unwrap();
+        let _b = queue.pop().unwrap();
+        let c = loopback_pair(&listener);
+        let c_addr = c.local_addr().unwrap();
+        match queue.push(c) {
+            PushOutcome::ShedIncoming(stream) => {
+                assert_eq!(stream.local_addr().unwrap(), c_addr);
+            }
+            other => panic!("expected the newcomer shed, got {other:?}"),
+        }
+        assert_eq!(queue.shed_count(), 1);
+        // A finished handler frees the slot and admission resumes.
+        queue.finish();
+        assert_queued(queue.push(loopback_pair(&listener)));
+        queue.close();
+    }
+
+    #[test]
+    fn in_flight_slot_releases_on_drop_even_on_panic() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let queue = Arc::new(AcceptQueue::new(8, 1));
+        assert_queued(queue.push(loopback_pair(&listener)));
+        let popped = queue.pop().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _slot = InFlightSlot::new(&queue);
+            let _conn = popped;
+            panic!("handler blew up");
+        }));
+        assert!(result.is_err());
+        // The slot was released despite the panic, so the cap admits again.
+        assert_queued(queue.push(loopback_pair(&listener)));
+        queue.close();
+    }
+
+    #[test]
+    fn overload_counters_track_waits_and_peak_depth() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let queue = AcceptQueue::new(8, 0);
+        assert_queued(queue.push(loopback_pair(&listener)));
+        assert_queued(queue.push(loopback_pair(&listener)));
+        assert_eq!(queue.peak_depth(), 2);
+        std::thread::sleep(Duration::from_millis(10));
+        let conn = queue.pop().unwrap();
+        queue.record_wait(conn.enqueued_at.elapsed());
+        assert!(
+            queue.total_wait_micros() >= 5_000,
+            "wait {} µs",
+            queue.total_wait_micros()
+        );
+        assert_eq!(queue.shed_count(), 0);
+        queue.record_shed();
+        assert_eq!(queue.shed_count(), 1);
+        // Peak depth is a high-water mark: draining does not lower it.
+        let _ = queue.pop();
+        assert_eq!(queue.peak_depth(), 2);
         queue.close();
     }
 

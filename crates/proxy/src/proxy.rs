@@ -7,13 +7,22 @@
 //! policy may admit, never the whole object), and the byte store is
 //! reconciled against the cache engine via its O(changes) delta log instead
 //! of a per-request full-contents scan.
+//!
+//! On top of that sits the overload layer (see `ARCHITECTURE.md`,
+//! "Overload & admission control"): queued connections carry enqueue
+//! timestamps and are shed with `BUSY` once their wait blows
+//! [`ProxyConfig::queue_deadline`], an optional in-flight cap sheds
+//! drop-oldest at admission, client sockets get per-write timeouts and an
+//! optional per-client token bucket so a slow reader cannot pin a worker,
+//! and the `STATS` verb dumps every counter as one JSON line.
 
 use crate::content::verify_content;
 use crate::error::ProxyError;
-use crate::pool::{AcceptQueue, OriginBudget, OriginPermit};
+use crate::pool::{AcceptQueue, InFlightSlot, OriginBudget, OriginPermit, PushOutcome};
 use crate::protocol::{
-    read_request, read_response, write_request, write_response, Request, Response,
+    read_command, read_response, write_request, write_response, Command, Request, Response,
 };
+use crate::ratelimit::RateLimiter;
 use crate::retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::store::PrefixStore;
 use bytes::Bytes;
@@ -81,6 +90,28 @@ pub struct ProxyConfig {
     /// Circuit-breaker thresholds for the origin path (see
     /// [`BreakerConfig`]; a zero failure threshold disables the breaker).
     pub breaker: BreakerConfig,
+    /// Maximum time a connection may sit in the accept queue before a
+    /// worker picks it up. A request whose queue wait exceeded this is
+    /// already past its latency budget, so the worker sheds it with a
+    /// `BUSY <retry-after-ms>` answer instead of serving a response
+    /// nobody is waiting for. `Duration::ZERO` disables the deadline.
+    pub queue_deadline: Duration,
+    /// Hard cap on admitted requests in flight (queued plus being
+    /// handled); 0 = unbounded. At the cap, admission sheds deterministic
+    /// drop-oldest: the oldest queued connection is answered `BUSY` to
+    /// admit the newcomer (the newest arrival is the one most likely to
+    /// still be listening), and with nothing queued the newcomer itself
+    /// is shed.
+    pub max_in_flight: usize,
+    /// Per-write timeout on client sockets. A stalled or wedged reader
+    /// turns into a write error after at most this long, counted in
+    /// `client_timeouts`, instead of pinning a worker indefinitely.
+    /// `Duration::ZERO` disables the timeout.
+    pub client_write_timeout: Duration,
+    /// Per-client token-bucket rate limit in bytes per second (0 =
+    /// unlimited): bounds how fast any single client may drain the proxy,
+    /// so one greedy reader cannot starve the pool.
+    pub client_rate_limit_bps: f64,
 }
 
 impl ProxyConfig {
@@ -99,7 +130,22 @@ impl ProxyConfig {
             origin_read_timeout: Duration::from_secs(5),
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            queue_deadline: Duration::from_secs(30),
+            max_in_flight: 0,
+            client_write_timeout: Duration::from_secs(10),
+            client_rate_limit_bps: 0.0,
         }
+    }
+
+    /// The retry pause suggested with a `BUSY` answer: half the queue
+    /// deadline (clamped to at least 1 ms), so a retrying client lands
+    /// when roughly half of today's backlog has drained. With the
+    /// deadline disabled (cap-driven sheds only) a flat 100 ms is used.
+    fn busy_retry_after_ms(&self) -> u64 {
+        if self.queue_deadline.is_zero() {
+            return 100;
+        }
+        (self.queue_deadline.as_millis() as u64 / 2).max(1)
     }
 }
 
@@ -137,6 +183,50 @@ pub struct ProxyStats {
     /// Requests served *degraded*: the origin was unavailable and the
     /// response carried only the policy-cached prefix, flagged on the wire.
     pub degraded_hits: u64,
+    /// Requests shed under overload with a `BUSY` answer: in-flight-cap
+    /// evictions at admission plus queue-deadline misses in the workers.
+    pub shed_requests: u64,
+    /// Cumulative accept-queue wait over all dequeued connections, in
+    /// microseconds (shed or served alike).
+    pub queue_wait_micros: u64,
+    /// High-water mark of the accept-queue depth (connections waiting for
+    /// a worker, excluding those already being handled).
+    pub peak_queue_depth: u64,
+    /// Client connections dropped because a write to them timed out: the
+    /// reader was too slow (or gone) and holding on would pin a worker.
+    pub client_timeouts: u64,
+}
+
+impl ProxyStats {
+    /// The stats as one line of hand-rolled JSON — the payload of the
+    /// `STATS` protocol verb, so load tests and operators can scrape
+    /// counters without process introspection.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"bytes_from_cache\": {}, \"bytes_from_origin\": {}, \
+             \"cached_objects\": {}, \"cached_bytes\": {}, \"estimated_origin_bps\": {}, \
+             \"peak_tail_bytes\": {}, \"origin_retries\": {}, \"origin_resumes\": {}, \
+             \"origin_backoff_micros\": {}, \"breaker_transitions\": {}, \
+             \"degraded_hits\": {}, \"shed_requests\": {}, \"queue_wait_micros\": {}, \
+             \"peak_queue_depth\": {}, \"client_timeouts\": {}}}",
+            self.requests,
+            self.bytes_from_cache,
+            self.bytes_from_origin,
+            self.cached_objects,
+            self.cached_bytes,
+            self.estimated_origin_bps,
+            self.peak_tail_bytes,
+            self.origin_retries,
+            self.origin_resumes,
+            self.origin_backoff_micros,
+            self.breaker_transitions,
+            self.degraded_hits,
+            self.shed_requests,
+            self.queue_wait_micros,
+            self.peak_queue_depth,
+            self.client_timeouts,
+        )
+    }
 }
 
 #[derive(Debug)]
@@ -156,6 +246,10 @@ struct ProxyState {
     /// produced the deltas.
     slot_names: Vec<Mutex<Vec<Option<String>>>>,
     estimator: Mutex<EwmaEstimator>,
+    /// The accept queue, shared with the accept thread and workers: it is
+    /// part of the state so both the stats snapshot and the `STATS` verb
+    /// can read the shed/wait/depth counters it maintains.
+    queue: Arc<AcceptQueue>,
     origin_budget: OriginBudget,
     /// Per-origin circuit breaker guarding every dial-out.
     breaker: CircuitBreaker,
@@ -171,6 +265,37 @@ struct ProxyState {
     origin_resumes: AtomicU64,
     origin_backoff_micros: AtomicU64,
     degraded_hits: AtomicU64,
+    client_timeouts: AtomicU64,
+}
+
+impl ProxyState {
+    /// A consistent-enough snapshot of every counter: the hot counters are
+    /// read lock-free; only the store summary and the estimator take
+    /// locks. Used both by [`CachingProxy::stats`] and the `STATS` verb.
+    fn snapshot(&self) -> ProxyStats {
+        ProxyStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_from_cache: self.bytes_from_cache.load(Ordering::Relaxed),
+            bytes_from_origin: self.bytes_from_origin.load(Ordering::Relaxed),
+            cached_objects: self.store.len(),
+            cached_bytes: self.store.total_bytes() as u64,
+            estimated_origin_bps: self
+                .estimator
+                .lock()
+                .estimate_bps()
+                .unwrap_or(self.config.assumed_origin_bps),
+            peak_tail_bytes: self.peak_tail_bytes.load(Ordering::Relaxed),
+            origin_retries: self.origin_retries.load(Ordering::Relaxed),
+            origin_resumes: self.origin_resumes.load(Ordering::Relaxed),
+            origin_backoff_micros: self.origin_backoff_micros.load(Ordering::Relaxed),
+            breaker_transitions: self.breaker.transitions(),
+            degraded_hits: self.degraded_hits.load(Ordering::Relaxed),
+            shed_requests: self.queue.shed_count(),
+            queue_wait_micros: self.queue.total_wait_micros(),
+            peak_queue_depth: self.queue.peak_depth(),
+            client_timeouts: self.client_timeouts.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A running caching proxy backed by a fixed worker pool.
@@ -188,7 +313,6 @@ pub struct CachingProxy {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    queue: Arc<AcceptQueue>,
     state: Arc<ProxyState>,
 }
 
@@ -238,6 +362,12 @@ impl CachingProxy {
                 "the retry deadline budget must be non-zero".into(),
             ));
         }
+        if config.client_rate_limit_bps.is_nan() {
+            return Err(ProxyError::InvalidConfig(
+                "client_rate_limit_bps",
+                "the client rate limit must be a number (0 disables it)".into(),
+            ));
+        }
         let shards = if config.engine_shards == 0 {
             config.worker_threads
         } else {
@@ -253,13 +383,17 @@ impl CachingProxy {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(AcceptQueue::new(config.accept_queue_len));
+        let queue = Arc::new(AcceptQueue::new(
+            config.accept_queue_len,
+            config.max_in_flight,
+        ));
         let state = Arc::new(ProxyState {
             engine,
             store: PrefixStore::new(),
             metadata: Mutex::new(FxHashMap::default()),
             slot_names: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             estimator: Mutex::new(EwmaEstimator::new(0.3)),
+            queue: Arc::clone(&queue),
             origin_budget: OriginBudget::new(config.max_origin_connections),
             breaker: CircuitBreaker::new(config.breaker),
             open_nonce: AtomicU64::new(0),
@@ -271,23 +405,35 @@ impl CachingProxy {
             origin_resumes: AtomicU64::new(0),
             origin_backoff_micros: AtomicU64::new(0),
             degraded_hits: AtomicU64::new(0),
+            client_timeouts: AtomicU64::new(0),
             config,
         });
 
         let workers = (0..state.config.worker_threads)
             .map(|_| {
                 let state = Arc::clone(&state);
-                let queue = Arc::clone(&queue);
                 std::thread::spawn(move || {
                     let mut scratch = WorkerScratch::new(state.config.policy);
-                    while let Some(stream) = queue.pop() {
-                        let _ = handle_client(stream, &state, &mut scratch);
+                    while let Some(conn) = state.queue.pop() {
+                        let _slot = InFlightSlot::new(&state.queue);
+                        let wait = conn.enqueued_at.elapsed();
+                        state.queue.record_wait(wait);
+                        let deadline = state.config.queue_deadline;
+                        if !deadline.is_zero() && wait > deadline {
+                            // The client has waited past its latency
+                            // budget: shedding now is cheaper for both
+                            // sides than serving a stale request.
+                            state.queue.record_shed();
+                            shed_with_busy(conn.stream, state.config.busy_retry_after_ms());
+                            continue;
+                        }
+                        let _ = handle_client(conn.stream, &state, &mut scratch);
                     }
                 })
             })
             .collect();
 
-        let accept_queue = Arc::clone(&queue);
+        let accept_state = Arc::clone(&state);
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
@@ -296,8 +442,17 @@ impl CachingProxy {
                 }
                 match stream {
                     Ok(stream) => {
-                        if !accept_queue.push(stream) {
-                            break;
+                        let retry_after = accept_state.config.busy_retry_after_ms();
+                        match accept_state.queue.push(stream) {
+                            PushOutcome::Closed => break,
+                            PushOutcome::Queued { shed } => {
+                                if let Some(old) = shed {
+                                    shed_with_busy(old.stream, retry_after);
+                                }
+                            }
+                            PushOutcome::ShedIncoming(stream) => {
+                                shed_with_busy(stream, retry_after);
+                            }
                         }
                     }
                     Err(_) => break,
@@ -305,14 +460,13 @@ impl CachingProxy {
             }
             // If the accept loop dies, let the workers drain and park
             // rather than wait forever on a queue nobody fills.
-            accept_queue.close();
+            accept_state.queue.close();
         });
         Ok(CachingProxy {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
             workers,
-            queue,
             state,
         })
     }
@@ -325,25 +479,7 @@ impl CachingProxy {
     /// A snapshot of the proxy's statistics. The hot counters are read
     /// lock-free; only the store summary and the estimator take locks.
     pub fn stats(&self) -> ProxyStats {
-        ProxyStats {
-            requests: self.state.requests.load(Ordering::Relaxed),
-            bytes_from_cache: self.state.bytes_from_cache.load(Ordering::Relaxed),
-            bytes_from_origin: self.state.bytes_from_origin.load(Ordering::Relaxed),
-            cached_objects: self.state.store.len(),
-            cached_bytes: self.state.store.total_bytes() as u64,
-            estimated_origin_bps: self
-                .state
-                .estimator
-                .lock()
-                .estimate_bps()
-                .unwrap_or(self.state.config.assumed_origin_bps),
-            peak_tail_bytes: self.state.peak_tail_bytes.load(Ordering::Relaxed),
-            origin_retries: self.state.origin_retries.load(Ordering::Relaxed),
-            origin_resumes: self.state.origin_resumes.load(Ordering::Relaxed),
-            origin_backoff_micros: self.state.origin_backoff_micros.load(Ordering::Relaxed),
-            breaker_transitions: self.state.breaker.transitions(),
-            degraded_hits: self.state.degraded_hits.load(Ordering::Relaxed),
-        }
+        self.state.snapshot()
     }
 
     /// Current state of the origin circuit breaker.
@@ -398,7 +534,7 @@ impl CachingProxy {
         }
         // Refuse new connections (this also unblocks an accept thread stuck
         // on a full queue), then nudge the accept loop awake.
-        self.queue.close();
+        self.state.queue.close();
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
@@ -477,16 +613,89 @@ fn retain_cap(
     (target.ceil() as usize).saturating_sub(prefix_bytes)
 }
 
+/// Answers a shed connection with `BUSY <retry-after-ms>` and closes it.
+/// The write is bounded by a short timeout (and errors are ignored): a
+/// peer that is already gone or wedged must not pin the shedding thread.
+fn shed_with_busy(stream: TcpStream, retry_after_ms: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut writer = BufWriter::new(stream);
+    let _ = write_response(&mut writer, &Response::Busy { retry_after_ms });
+}
+
+/// Classifies a failed client-socket write: a timed-out write means the
+/// reader is too slow (or gone), which is counted and surfaced as
+/// [`ProxyError::ClientTimeout`]; everything else passes through.
+fn client_err(state: &ProxyState, err: ProxyError) -> ProxyError {
+    if let ProxyError::Io(e) = &err {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            state.client_timeouts.fetch_add(1, Ordering::Relaxed);
+            return ProxyError::ClientTimeout;
+        }
+    }
+    err
+}
+
+/// Writes payload bytes to the client in ring-sized chunks, paced by the
+/// per-client token bucket and with write failures classified through
+/// [`client_err`].
+fn write_paced(
+    state: &ProxyState,
+    writer: &mut BufWriter<TcpStream>,
+    bytes: &[u8],
+    pace: &mut RateLimiter,
+) -> Result<(), ProxyError> {
+    for chunk in bytes.chunks(RING_BYTES) {
+        pace.acquire(chunk.len());
+        writer
+            .write_all(chunk)
+            .map_err(|e| client_err(state, ProxyError::Io(e)))?;
+    }
+    writer
+        .flush()
+        .map_err(|e| client_err(state, ProxyError::Io(e)))?;
+    Ok(())
+}
+
 fn handle_client(
     stream: TcpStream,
     state: &ProxyState,
     scratch: &mut WorkerScratch,
 ) -> Result<(), ProxyError> {
     stream.set_nodelay(true).ok();
+    if !state.config.client_write_timeout.is_zero() {
+        stream
+            .set_write_timeout(Some(state.config.client_write_timeout))
+            .ok();
+    }
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let request = read_request(&mut reader)?;
+    let request = match read_command(&mut reader) {
+        Ok(Command::Get(request)) => request,
+        Ok(Command::Stats) => {
+            let mut json = state.snapshot().to_json();
+            json.push('\n');
+            writer
+                .write_all(json.as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(|e| client_err(state, ProxyError::Io(e)))?;
+            return Ok(());
+        }
+        Err(err @ ProxyError::Protocol(_)) => {
+            // Malformed or adversarial input: the bounded parser already
+            // stopped reading; answer with a clean ERR and drop the
+            // connection (best-effort — the peer may be gone).
+            let _ = write_response(&mut writer, &Response::Err("malformed request".into()));
+            return Err(err);
+        }
+        Err(err) => return Err(err),
+    };
     let name = request.name;
+    // Per-client pacing: one token bucket per connection, so a greedy
+    // client is bounded without penalizing its neighbours.
+    let mut pace = RateLimiter::new(state.config.client_rate_limit_bps);
 
     let cached = state.store.get(&name).unwrap_or_default();
     let known_meta = state.metadata.lock().get(&name).copied();
@@ -565,10 +774,10 @@ fn handle_client(
             bitrate_bps: bitrate,
             degraded,
         },
-    )?;
+    )
+    .map_err(|e| client_err(state, e))?;
     let prefix_bytes = cached.len().min(size as usize);
-    writer.write_all(&cached[..prefix_bytes])?;
-    writer.flush()?;
+    write_paced(state, &mut writer, &cached[..prefix_bytes], &mut pace)?;
 
     if degraded {
         // Degraded hit: the range-correct prefix is all the client gets.
@@ -630,8 +839,7 @@ fn handle_client(
                     continue;
                 }
             };
-            writer.write_all(&scratch.chunk[..n])?;
-            writer.flush()?;
+            write_paced(state, &mut writer, &scratch.chunk[..n], &mut pace)?;
             tail_len += n as u64;
             let elapsed = started.elapsed().as_secs_f64();
             if elapsed > 0.0 {
@@ -851,6 +1059,9 @@ fn try_open_origin<'a>(
             size, bitrate_bps, ..
         } => Ok(Some((reader, size, bitrate_bps, permit))),
         Response::Err(_) => Ok(None),
+        // An overloaded origin counts as a transport failure: the caller
+        // backs off and retries within the usual budget.
+        Response::Busy { retry_after_ms } => Err(ProxyError::Busy(retry_after_ms)),
     }
 }
 
@@ -877,6 +1088,52 @@ mod tests {
         assert!(cfg.retry.max_attempts >= 1);
         assert!(cfg.retry.deadline >= cfg.retry.max_backoff);
         assert!(cfg.breaker.failure_threshold > 0, "breaker on by default");
+        // Overload knobs default permissive: a generous queue deadline and
+        // write timeout, no in-flight cap, no per-client pacing.
+        assert!(!cfg.queue_deadline.is_zero());
+        assert_eq!(cfg.max_in_flight, 0);
+        assert!(!cfg.client_write_timeout.is_zero());
+        assert_eq!(cfg.client_rate_limit_bps, 0.0);
+    }
+
+    #[test]
+    fn busy_retry_after_tracks_the_queue_deadline() {
+        let mut cfg = ProxyConfig::new("127.0.0.1:9".parse().unwrap(), 1e6);
+        cfg.queue_deadline = Duration::from_millis(300);
+        assert_eq!(cfg.busy_retry_after_ms(), 150);
+        cfg.queue_deadline = Duration::from_millis(1);
+        assert_eq!(cfg.busy_retry_after_ms(), 1, "clamped to at least 1 ms");
+        cfg.queue_deadline = Duration::ZERO;
+        assert_eq!(cfg.busy_retry_after_ms(), 100, "flat default when off");
+    }
+
+    #[test]
+    fn stats_json_is_well_formed_and_complete() {
+        let stats = ProxyStats {
+            requests: 7,
+            shed_requests: 3,
+            peak_queue_depth: 11,
+            client_timeouts: 2,
+            estimated_origin_bps: 64_000.0,
+            ..ProxyStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests\": 7"));
+        assert!(json.contains("\"shed_requests\": 3"));
+        assert!(json.contains("\"peak_queue_depth\": 11"));
+        assert!(json.contains("\"client_timeouts\": 2"));
+        assert!(json.contains("\"queue_wait_micros\": 0"));
+        assert!(json.contains("\"estimated_origin_bps\": 64000"));
+        // One line, no trailing newline: the verb handler appends it.
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn nan_client_rate_limit_is_rejected() {
+        let mut cfg = ProxyConfig::new("127.0.0.1:9".parse().unwrap(), 1e6);
+        cfg.client_rate_limit_bps = f64::NAN;
+        assert!(CachingProxy::start(cfg).is_err());
     }
 
     #[test]

@@ -62,6 +62,19 @@ impl RateLimiter {
         }
     }
 
+    /// The pause [`acquire`](Self::acquire) would impose for `bytes` more
+    /// bytes right now, without consuming any budget. Lets callers judge
+    /// whether a paced write still fits a latency budget before they
+    /// commit to it.
+    pub fn would_sleep(&self, bytes: usize) -> Duration {
+        if self.is_unlimited() {
+            return Duration::ZERO;
+        }
+        let due =
+            Duration::from_secs_f64((self.consumed_bytes + bytes as f64) / self.bytes_per_sec);
+        due.saturating_sub(self.started.elapsed())
+    }
+
     /// Observed average throughput so far in bytes per second.
     pub fn observed_bps(&self) -> f64 {
         let secs = self.started.elapsed().as_secs_f64();
@@ -100,6 +113,23 @@ mod tests {
         assert!(
             (observed - 2_000_000.0).abs() / 2_000_000.0 < 0.25,
             "observed {observed}"
+        );
+    }
+
+    #[test]
+    fn would_sleep_previews_the_debt_without_charging_it() {
+        let mut limiter = RateLimiter::new(100_000.0);
+        // 50 KB at 100 KB/s owes ~0.5 s; the preview sees the debt ...
+        let preview = limiter.would_sleep(50_000);
+        assert!(preview.as_secs_f64() > 0.4, "preview {preview:?}");
+        // ... but charges nothing: an immediate small acquire stays cheap.
+        let start = Instant::now();
+        limiter.acquire(1_000);
+        assert!(start.elapsed() < Duration::from_millis(100));
+        // Unlimited limiters never owe anything.
+        assert_eq!(
+            RateLimiter::new(0.0).would_sleep(usize::MAX),
+            Duration::ZERO
         );
     }
 
